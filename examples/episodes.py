@@ -1,0 +1,104 @@
+"""Episode-style mining: frequent event combinations in a log sequence.
+
+Run with::
+
+    python examples/episodes.py
+
+The paper lists episode discovery (Mannila & Toivonen) among the problems
+whose key component is frequent-itemset discovery, and names it first
+among planned applications ("the discovery of ... episodes").  Following
+that reduction, a (parallel) episode is a set of event types that occur
+together within a time window; sliding a window over the event sequence
+and treating each window's event-type set as a transaction turns episode
+discovery into exactly the problem Pincer-Search solves — the maximal
+frequent windows are the maximal episodes.
+"""
+
+import random
+
+from repro import TransactionDatabase, pincer_search
+from repro.rules import rules_from_mfs
+
+EVENT_TYPES = {
+    0: "login", 1: "page_view", 2: "search", 3: "add_to_cart",
+    4: "checkout", 5: "payment", 6: "error_500", 7: "retry",
+    8: "support_chat", 9: "logout",
+}
+
+#: generative "sessions": weighted episode templates planted in the stream
+TEMPLATES = [
+    ((0, 1, 2), 0.35),             # browse
+    ((0, 1, 2, 3), 0.25),          # shop
+    ((0, 1, 2, 3, 4, 5), 0.20),    # purchase funnel
+    ((6, 7), 0.12),                # failure + retry
+    ((6, 7, 8), 0.08),             # failure escalates to support
+]
+WINDOW = 8
+MIN_SUPPORT = 0.05
+
+
+def synthesise_event_stream(length=6000, seed=3):
+    rng = random.Random(seed)
+    cumulative, total = [], 0.0
+    for template, weight in TEMPLATES:
+        total += weight
+        cumulative.append((total, template))
+    stream = []
+    while len(stream) < length:
+        point = rng.random() * total
+        template = next(t for threshold, t in cumulative if point <= threshold)
+        episode = [event for event in template if rng.random() < 0.9]
+        rng.shuffle(episode)
+        stream.extend(episode)
+        if rng.random() < 0.35:
+            stream.append(rng.randrange(len(EVENT_TYPES)))  # noise event
+    return stream[:length]
+
+
+def windows_as_transactions(stream, window=WINDOW):
+    """Each sliding window's set of event types is one transaction."""
+    return TransactionDatabase(
+        [
+            set(stream[start:start + window])
+            for start in range(0, len(stream) - window + 1)
+        ],
+        universe=range(len(EVENT_TYPES)),
+    )
+
+
+def names(itemset):
+    return "{" + ", ".join(EVENT_TYPES[event] for event in itemset) + "}"
+
+
+def main():
+    stream = synthesise_event_stream()
+    db = windows_as_transactions(stream)
+    print(
+        "%d events -> %d windows of %d events"
+        % (len(stream), len(db), WINDOW)
+    )
+
+    result = pincer_search(db, MIN_SUPPORT)
+    print(
+        "\nmaximal episodes (window support >= %.0f%%), %d passes:"
+        % (100 * MIN_SUPPORT, result.stats.num_passes)
+    )
+    for member in sorted(result.mfs, key=len, reverse=True):
+        print(
+            "  %-55s %.1f%%"
+            % (names(member), 100 * result.support(member))
+        )
+
+    # "episode rules": which event combinations predict which follow-ups
+    rules = rules_from_mfs(db, result, min_confidence=0.9, depth=2)
+    print("\nstrong episode rules (confidence >= 90%):")
+    for rule in rules[:8]:
+        print(
+            "  %s => %s  (conf %.0f%%)"
+            % (names(rule.antecedent), names(rule.consequent),
+               100 * rule.confidence)
+        )
+
+
+if __name__ == "__main__":
+    main()

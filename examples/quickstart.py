@@ -1,0 +1,63 @@
+"""Quickstart: discover the maximum frequent set of a tiny basket database.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the core public API in ~40 lines: build a database, mine it with
+Pincer-Search, inspect the maximal frequent itemsets, and answer frequency
+questions without ever materialising the full frequent set.
+"""
+
+from repro import TransactionDatabase, pincer_search
+
+# A grocery-store toy: items are ints (1=bread, 2=butter, 3=milk, 4=beer,
+# 5=diapers).  Any iterable of int-iterables works.
+BREAD, BUTTER, MILK, BEER, DIAPERS = 1, 2, 3, 4, 5
+ITEM_NAMES = {1: "bread", 2: "butter", 3: "milk", 4: "beer", 5: "diapers"}
+
+baskets = [
+    [BREAD, BUTTER, MILK],
+    [BREAD, BUTTER],
+    [BREAD, BUTTER, MILK],
+    [BEER, DIAPERS],
+    [BEER, DIAPERS, BREAD],
+    [BEER, DIAPERS],
+    [MILK],
+    [BREAD, BUTTER, MILK, BEER],
+]
+
+
+def names(itemset):
+    return "{" + ", ".join(ITEM_NAMES[item] for item in itemset) + "}"
+
+
+def main():
+    db = TransactionDatabase(baskets)
+    print("database: %d baskets over %d items" % (len(db), db.num_items))
+
+    # minimum support 25% of the baskets
+    result = pincer_search(db, min_support=0.25)
+
+    print("\nmaximum frequent set (every maximal frequent itemset):")
+    for member in result.sorted_mfs():
+        print(
+            "  %-28s support %.0f%%"
+            % (names(member), 100 * result.support(member))
+        )
+
+    # The MFS answers frequency questions for ANY itemset - no extra pass:
+    print("\nfrequency oracle:")
+    for probe in ([BREAD, BUTTER], [BEER, MILK], [BEER, DIAPERS]):
+        verdict = "frequent" if result.is_frequent(probe) else "infrequent"
+        print("  %-28s -> %s" % (names(tuple(probe)), verdict))
+
+    stats = result.stats
+    print(
+        "\n%d database passes, %d candidate itemsets counted"
+        % (stats.num_passes, stats.total_candidates)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Basement type aliases shared across subpackages.
+
+Lives below both :mod:`repro.core` and :mod:`repro.db` so that the
+database substrate can name the itemset type without importing the core
+package (whose ``__init__`` pulls in the miners, which import the
+substrate — a cycle otherwise).
+"""
+
+from typing import Tuple
+
+#: Canonical itemset type: items sorted ascending, no duplicates.
+Itemset = Tuple[int, ...]
+
+#: The empty itemset.  Frequent by convention (support = 1.0).
+EMPTY: Itemset = ()
+
+
+class CountingDeadline(Exception):
+    """A counting or candidate-generation step ran past its deadline.
+
+    Raised mid-pass by deadline-aware primitives (the bitmap/naive
+    engines, the Apriori join); miners with a ``time_budget`` translate
+    it into :class:`repro.core.result.MiningTimeout`.  Lives in the
+    basement module because both the substrate (:mod:`repro.db`) and the
+    core raise it.
+    """

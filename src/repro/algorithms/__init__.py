@@ -1,0 +1,30 @@
+"""Baseline miners: Apriori, brute force, top-down, sampling, randomized."""
+
+from .apriori import Apriori, apriori
+from .brute_force import (
+    MAX_UNIVERSE,
+    brute_force,
+    brute_force_frequents,
+    brute_force_mfs,
+)
+from .partition import PartitionMiner, partition_mine
+from .randomized import RandomizedMFS, randomized_mfs
+from .sampling import SamplingMiner, sampling_mine
+from .topdown import TopDown, top_down
+
+__all__ = [
+    "MAX_UNIVERSE",
+    "Apriori",
+    "PartitionMiner",
+    "RandomizedMFS",
+    "SamplingMiner",
+    "TopDown",
+    "apriori",
+    "brute_force",
+    "brute_force_frequents",
+    "brute_force_mfs",
+    "partition_mine",
+    "randomized_mfs",
+    "sampling_mine",
+    "top_down",
+]

@@ -1,0 +1,83 @@
+"""Exhaustive reference miner — the test oracle.
+
+Enumerates the entire itemset lattice (or, when feasible, only the
+subsets occurring in transactions) and classifies every itemset by direct
+counting.  Exponential; intended for the property-based tests that check
+Pincer-Search and Apriori against ground truth on small universes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Optional, Set
+
+from ..core.itemset import Itemset
+from ..core.lattice import maximal_elements
+from ..core.pincer import resolve_threshold
+from ..core.result import MiningResult
+from ..core.stats import MiningStats
+from ..db.transaction_db import TransactionDatabase
+
+#: refuse to enumerate lattices beyond this many items
+MAX_UNIVERSE = 20
+
+
+def brute_force_frequents(
+    db: TransactionDatabase,
+    min_support: Optional[float] = None,
+    *,
+    min_count: Optional[int] = None,
+) -> Dict[Itemset, int]:
+    """All frequent itemsets with supports, by transaction-subset counting.
+
+    Counts only itemsets that occur in at least one transaction (anything
+    else has support 0), so it scales with the data rather than the
+    universe — but each transaction still contributes ``2**|t|`` subsets,
+    so keep transactions short.
+    """
+    threshold, _ = resolve_threshold(db, min_support, min_count)
+    counts: Dict[Itemset, int] = {}
+    for transaction in db:
+        items = tuple(sorted(transaction))
+        for size in range(1, len(items) + 1):
+            for subset in combinations(items, size):
+                counts[subset] = counts.get(subset, 0) + 1
+    return {
+        itemset_: count for itemset_, count in counts.items() if count >= threshold
+    }
+
+
+def brute_force_mfs(
+    db: TransactionDatabase,
+    min_support: Optional[float] = None,
+    *,
+    min_count: Optional[int] = None,
+) -> Set[Itemset]:
+    """Ground-truth maximum frequent set."""
+    return maximal_elements(
+        brute_force_frequents(db, min_support, min_count=min_count)
+    )
+
+
+def brute_force(
+    db: TransactionDatabase,
+    min_support: Optional[float] = None,
+    *,
+    min_count: Optional[int] = None,
+) -> MiningResult:
+    """Full :class:`MiningResult` for drop-in comparisons with the miners."""
+    if db.num_items > MAX_UNIVERSE and any(len(t) > MAX_UNIVERSE for t in db):
+        raise ValueError(
+            "brute force refuses transactions longer than %d items" % MAX_UNIVERSE
+        )
+    threshold, fraction = resolve_threshold(db, min_support, min_count)
+    frequents = brute_force_frequents(db, min_count=threshold)
+    return MiningResult(
+        mfs=frozenset(maximal_elements(frequents)),
+        supports=frequents,
+        num_transactions=len(db),
+        min_support_count=threshold,
+        min_support=fraction,
+        algorithm="brute-force",
+        stats=MiningStats(algorithm="brute-force"),
+    )

@@ -1,0 +1,146 @@
+"""Randomized maximal-frequent-itemset discovery (paper reference [5]).
+
+Related-work baseline: "A randomized algorithm for discovering the
+maximum frequent set was presented by Gunopulos et al. [5].  We present a
+deterministic algorithm for solving this problem" (paper, Section 5).
+
+The core primitive of that line of work is a **random maximal
+extension**: start from a frequent seed, add random items while the set
+stays frequent; the result is one maximal frequent itemset.  Repeating
+from random seeds discovers maximal itemsets with probability
+proportional to how "reachable" they are; the algorithm is Las-Vegas
+style — everything it outputs is a genuine maximal frequent itemset, but
+without exhaustive restarts it may miss some (no completeness guarantee,
+unlike Pincer-Search).  ``mine`` runs restarts until ``max_restarts`` or
+until ``stall_limit`` consecutive restarts rediscover known itemsets.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional, Set
+
+from ..core.itemset import Itemset
+from ..core.pincer import resolve_threshold
+from ..core.result import MiningResult
+from ..core.stats import MiningStats
+from ..db.counting import SupportCounter, get_counter
+from ..db.transaction_db import TransactionDatabase
+
+
+class RandomizedMFS:
+    """Randomized maximal-itemset miner (random maximal extensions)."""
+
+    name = "randomized-mfs"
+
+    def __init__(
+        self,
+        max_restarts: int = 200,
+        stall_limit: int = 50,
+        seed: int = 0,
+        engine: str = "bitmap",
+    ) -> None:
+        if max_restarts < 1 or stall_limit < 1:
+            raise ValueError("restart limits must be positive")
+        self._max_restarts = max_restarts
+        self._stall_limit = stall_limit
+        self._seed = seed
+        self._engine = engine
+
+    def mine(
+        self,
+        db: TransactionDatabase,
+        min_support: Optional[float] = None,
+        *,
+        min_count: Optional[int] = None,
+        counter: Optional[SupportCounter] = None,
+    ) -> MiningResult:
+        """Discover (a subset of) the maximum frequent set by restarts.
+
+        The returned MFS is always *sound* (every member maximal
+        frequent); completeness holds only in the limit of restarts.
+        """
+        threshold, fraction = resolve_threshold(db, min_support, min_count)
+        engine = counter if counter is not None else get_counter(self._engine)
+        rng = random.Random(self._seed)
+        started = time.perf_counter()
+        stats = MiningStats(algorithm=self.name)
+
+        supports = dict(
+            engine.count(db, [(item,) for item in db.universe])
+        )
+        frequent_items = [
+            item for item in db.universe if supports[(item,)] >= threshold
+        ]
+        discovered: Set[Itemset] = set()
+        stall = 0
+        restarts = 0
+        while (
+            frequent_items
+            and restarts < self._max_restarts
+            and stall < self._stall_limit
+        ):
+            restarts += 1
+            maximal = self._random_maximal_extension(
+                db, engine, supports, threshold, frequent_items, rng
+            )
+            if maximal in discovered:
+                stall += 1
+            else:
+                discovered.add(maximal)
+                stall = 0
+
+        stats.seconds = time.perf_counter() - started
+        stats.records_read = engine.records_read
+        pass_stats = stats.new_pass(1)
+        pass_stats.bottom_up_candidates = len(supports)
+        return MiningResult(
+            mfs=frozenset(discovered),
+            supports=supports,
+            num_transactions=len(db),
+            min_support_count=threshold,
+            min_support=fraction,
+            algorithm=self.name,
+            stats=stats,
+        )
+
+    def _random_maximal_extension(
+        self,
+        db: TransactionDatabase,
+        engine: SupportCounter,
+        supports: dict,
+        threshold: int,
+        frequent_items: List[int],
+        rng: random.Random,
+    ) -> Itemset:
+        """Grow one maximal frequent itemset from a random frequent item."""
+        current: List[int] = [rng.choice(frequent_items)]
+        remaining = [item for item in frequent_items if item not in current]
+        rng.shuffle(remaining)
+        for item in remaining:
+            candidate = tuple(sorted(current + [item]))
+            if candidate not in supports:
+                supports.update(engine.count(db, [candidate]))
+            if supports[candidate] >= threshold:
+                current.append(item)
+        return tuple(sorted(current))
+
+
+def randomized_mfs(
+    db: TransactionDatabase,
+    min_support: Optional[float] = None,
+    *,
+    min_count: Optional[int] = None,
+    max_restarts: int = 200,
+    seed: int = 0,
+) -> MiningResult:
+    """Functional one-shot entry point; see :class:`RandomizedMFS`.
+
+    >>> from repro.db.transaction_db import TransactionDatabase
+    >>> db = TransactionDatabase([[1, 2, 3]] * 5)
+    >>> sorted(randomized_mfs(db, 0.5).mfs)
+    [(1, 2, 3)]
+    """
+    miner = RandomizedMFS(max_restarts=max_restarts, seed=seed)
+    return miner.mine(db, min_support, min_count=min_count)

@@ -1,0 +1,180 @@
+"""Toivonen's sampling algorithm (the paper's reference [18]).
+
+Related-work baseline: "Others, like Partition [16] and Sampling [18],
+proposed effective ways to reduce the I/O time.  However, they are still
+inefficient when the maximal frequent itemsets are long" (paper,
+Section 5).  This module implements the Sampling algorithm so that claim
+can be measured:
+
+1. draw a random sample of the database and mine it *in memory* at a
+   lowered threshold (the lowering makes missing a truly frequent itemset
+   unlikely);
+2. in one pass over the full database, count the sample's frequent
+   itemsets **and their negative border**;
+3. if nothing in the negative border turns out frequent, the counts are
+   exact and complete — one full-database pass total.  Otherwise there
+   was a *miss*; the guarantee is restored by falling back to a full
+   mining run seeded with what is already known (the textbook remedy;
+   Toivonen's paper offers fancier recovery, with the same worst case).
+
+Step 2 is exactly where long maximal itemsets hurt: the sample's frequent
+collection is the full downward closure, which is exponential in the
+maximal length — the inefficiency Pincer-Search sidesteps.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional, Set
+
+from ..borders.borders import negative_border
+from ..core.itemset import Itemset
+from ..core.lattice import maximal_elements
+from ..core.pincer import resolve_threshold
+from ..core.result import MiningResult
+from ..core.stats import MiningStats
+from ..db.counting import SupportCounter, get_counter
+from ..db.transaction_db import TransactionDatabase
+from .apriori import Apriori
+
+
+class SamplingMiner:
+    """Toivonen-style sampling miner.
+
+    Parameters
+    ----------
+    sample_fraction:
+        Fraction of transactions drawn (without replacement).
+    lowering:
+        Multiplier < 1 applied to the minimum support when mining the
+        sample; smaller values make misses rarer but inflate the sample's
+        frequent collection.
+    seed:
+        RNG seed for the sample draw.
+    """
+
+    name = "sampling"
+
+    def __init__(
+        self,
+        sample_fraction: float = 0.2,
+        lowering: float = 0.8,
+        seed: int = 0,
+        engine: str = "bitmap",
+    ) -> None:
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if not 0.0 < lowering <= 1.0:
+            raise ValueError("lowering must be in (0, 1]")
+        self._sample_fraction = sample_fraction
+        self._lowering = lowering
+        self._seed = seed
+        self._engine = engine
+
+    def mine(
+        self,
+        db: TransactionDatabase,
+        min_support: Optional[float] = None,
+        *,
+        min_count: Optional[int] = None,
+        counter: Optional[SupportCounter] = None,
+    ) -> MiningResult:
+        """Mine the maximum frequent set via a sample plus verification."""
+        threshold, fraction = resolve_threshold(db, min_support, min_count)
+        engine = counter if counter is not None else get_counter(self._engine)
+        started = time.perf_counter()
+        stats = MiningStats(algorithm=self.name)
+
+        sample = self._draw_sample(db)
+        # the in-memory sample phase is free in the paper's I/O model;
+        # mine it with Apriori at the lowered threshold
+        sample_counter = get_counter(self._engine)
+        sample_threshold = max(
+            1, int(self._lowering * fraction * max(1, len(sample)))
+        )
+        sample_result = Apriori(engine=self._engine).mine(
+            sample, min_count=sample_threshold, counter=sample_counter
+        )
+        sample_frequents: Set[Itemset] = {
+            itemset_
+            for itemset_, count in sample_result.supports.items()
+            if count >= sample_threshold
+        }
+
+        # one full-database pass: sample frequents + their negative border
+        border = negative_border(
+            maximal_elements(sample_frequents) if sample_frequents else [],
+            db.universe,
+        )
+        to_verify = sorted(sample_frequents | border)
+        pass_stats = stats.new_pass(1)
+        pass_started = time.perf_counter()
+        supports = dict(engine.count(db, to_verify))
+        pass_stats.bottom_up_candidates = len(to_verify)
+        pass_stats.seconds = time.perf_counter() - pass_started
+
+        frequents = {
+            itemset_
+            for itemset_, count in supports.items()
+            if count >= threshold
+        }
+        missed_border = frequents & border
+        if missed_border:
+            # a border itemset is frequent: the sample missed part of the
+            # lattice; fall back to an exact run (counts already known are
+            # reused through the shared engine cacheless API by seeding)
+            fallback = Apriori(engine=self._engine).mine(
+                db, min_count=threshold, counter=engine
+            )
+            fallback.stats.algorithm = self.name
+            for pass_done in fallback.stats.passes:
+                stats.passes.append(pass_done)
+            supports.update(fallback.supports)
+            frequents = {
+                itemset_
+                for itemset_, count in supports.items()
+                if count >= threshold
+            }
+
+        stats.seconds = time.perf_counter() - started
+        stats.records_read = engine.records_read
+        return MiningResult(
+            mfs=frozenset(maximal_elements(frequents)),
+            supports=supports,
+            num_transactions=len(db),
+            min_support_count=threshold,
+            min_support=fraction,
+            algorithm=self.name,
+            stats=stats,
+        )
+
+    def _draw_sample(self, db: TransactionDatabase) -> TransactionDatabase:
+        rng = random.Random(self._seed)
+        size = max(1, round(self._sample_fraction * len(db)))
+        if size >= len(db):
+            return db
+        indices = rng.sample(range(len(db)), size)
+        return db.sample(sorted(indices))
+
+
+def sampling_mine(
+    db: TransactionDatabase,
+    min_support: Optional[float] = None,
+    *,
+    min_count: Optional[int] = None,
+    sample_fraction: float = 0.2,
+    lowering: float = 0.8,
+    seed: int = 0,
+) -> MiningResult:
+    """Functional one-shot entry point; see :class:`SamplingMiner`.
+
+    >>> from repro.db.transaction_db import TransactionDatabase
+    >>> db = TransactionDatabase([[1, 2, 3]] * 8 + [[4]] * 2)
+    >>> sorted(sampling_mine(db, 0.5, sample_fraction=0.5).mfs)
+    [(1, 2, 3)]
+    """
+    miner = SamplingMiner(
+        sample_fraction=sample_fraction, lowering=lowering, seed=seed
+    )
+    return miner.mine(db, min_support, min_count=min_count)

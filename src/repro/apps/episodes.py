@@ -1,0 +1,139 @@
+"""Parallel-episode discovery in event sequences (paper application #3).
+
+The paper lists episode discovery (Mannila–Toivonen, its reference [10])
+among the problems built on frequent-set discovery and names it first in
+its planned applications.  A *parallel episode* is a set of event types;
+it occurs in a time window when every one of its event types does.  The
+standard reduction (WINEPI): slide a window over the sequence, take each
+window's set of event types as a transaction, and mine frequent itemsets —
+the window-support of an episode is exactly the itemset support.  The
+*maximal* frequent episodes are then the maximum frequent set, which is
+where Pincer-Search comes in: sessions with long correlated event chains
+produce long maximal episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.itemset import Itemset
+from ..core.pincer import PincerSearch
+from ..db.transaction_db import TransactionDatabase
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped event of the input sequence."""
+
+    time: int
+    event_type: int
+
+
+@dataclass(frozen=True)
+class Episode:
+    """A discovered parallel episode with its window support."""
+
+    event_types: Itemset
+    support: float
+    window_count: int
+
+    def __len__(self) -> int:
+        return len(self.event_types)
+
+
+def sequence_to_events(event_types: Sequence[int]) -> List[Event]:
+    """Adapt a plain list of event types to unit-spaced events.
+
+    >>> sequence_to_events([7, 9])
+    [Event(time=0, event_type=7), Event(time=1, event_type=9)]
+    """
+    return [
+        Event(time=index, event_type=event_type)
+        for index, event_type in enumerate(event_types)
+    ]
+
+
+def windows(events: Sequence[Event], width: int, step: int = 1) -> List[frozenset]:
+    """Event-type sets of the sliding time windows ``[t, t + width)``.
+
+    Windows slide over the *time* axis (not event indices), matching the
+    WINEPI definition; empty windows are kept — they are part of the
+    window count the support is normalised by.
+    """
+    if width < 1 or step < 1:
+        raise ValueError("window width and step must be positive")
+    if not events:
+        return []
+    ordered = sorted(events, key=lambda event: event.time)
+    start_time = ordered[0].time - width + 1
+    end_time = ordered[-1].time
+    result: List[frozenset] = []
+    position = 0
+    active: List[Event] = []
+    for start in range(start_time, end_time + 1, step):
+        while position < len(ordered) and ordered[position].time < start + width:
+            active.append(ordered[position])
+            position += 1
+        active = [event for event in active if event.time >= start]
+        result.append(frozenset(event.event_type for event in active))
+    return result
+
+
+def windows_database(
+    events: Sequence[Event], width: int, step: int = 1
+) -> TransactionDatabase:
+    """The WINEPI transaction database of an event sequence."""
+    return TransactionDatabase(windows(events, width, step))
+
+
+def mine_episodes(
+    events: Sequence[Event],
+    width: int,
+    min_support: float,
+    step: int = 1,
+    miner: Optional[PincerSearch] = None,
+) -> List[Episode]:
+    """Maximal parallel episodes with window support ≥ ``min_support``.
+
+    Returns episodes sorted longest-first (the interesting ones for the
+    paper's argument), each carrying its exact window support.
+    """
+    db = windows_database(events, width, step)
+    if len(db) == 0:
+        return []
+    mining = (miner or PincerSearch()).mine(db, min_support)
+    episodes = [
+        Episode(
+            event_types=member,
+            support=mining.support(member) or 0.0,
+            window_count=mining.support_count(member) or 0,
+        )
+        for member in mining.mfs
+    ]
+    episodes.sort(key=lambda episode: (-len(episode), episode.event_types))
+    return episodes
+
+
+def episode_rules(
+    events: Sequence[Event],
+    width: int,
+    min_support: float,
+    min_confidence: float,
+    step: int = 1,
+) -> List[Tuple[Itemset, Itemset, float]]:
+    """WINEPI-style rules "if these events occur, so do those".
+
+    Returns ``(antecedent_types, consequent_types, confidence)`` triples
+    derived from the maximal episodes via the MFS-first rule generator.
+    """
+    from ..rules.from_mfs import rules_from_mfs
+
+    db = windows_database(events, width, step)
+    if len(db) == 0:
+        return []
+    mining = PincerSearch().mine(db, min_support)
+    rules = rules_from_mfs(db, mining, min_confidence=min_confidence, depth=2)
+    return [
+        (rule.antecedent, rule.consequent, rule.confidence) for rule in rules
+    ]

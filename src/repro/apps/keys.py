@@ -1,0 +1,161 @@
+"""Minimal-key discovery for relations (the paper's fourth application).
+
+The paper's opening sentence lists "minimal keys" among the data mining
+problems whose key component is frequent-set-style discovery (via
+Mannila & Toivonen's levelwise framework, its reference [11]).  The
+reduction:
+
+* an attribute set ``X`` is a **key** of a relation iff no two rows agree
+  on all attributes of ``X``;
+* "is NOT a key" is anti-monotone (drop attributes and rows can only
+  collide more), so the maximal non-keys are exactly the maximum
+  "frequent" set of that predicate — discoverable by the pincer's two-way
+  search (:mod:`repro.core.predicate`);
+* the **minimal keys** are then the minimal transversals of the
+  complements of the maximal non-keys: ``X`` is a key iff it intersects
+  the complement of every maximal non-key (otherwise ``X`` would sit
+  inside some maximal non-key).
+
+For the relations this library targets (tens of attributes), the
+transversal step uses a direct branch-and-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from ..core.itemset import Itemset
+from ..core.lattice import minimal_elements
+from ..core.predicate import PredicatePincer
+
+
+class Relation:
+    """A named-column relation (list of equal-length rows).
+
+    Attributes are addressed by index internally; ``column_names`` is
+    kept only for presentation.
+    """
+
+    def __init__(
+        self,
+        rows: Iterable[Sequence[object]],
+        column_names: Sequence[str] = (),
+    ) -> None:
+        self.rows: List[Tuple[object, ...]] = [tuple(row) for row in rows]
+        widths = {len(row) for row in self.rows}
+        if len(widths) > 1:
+            raise ValueError("rows must all have the same arity")
+        self.arity = widths.pop() if widths else len(column_names)
+        if column_names and len(column_names) != self.arity:
+            raise ValueError("column_names arity mismatch")
+        self.column_names = list(column_names) or [
+            "col%d" % index for index in range(self.arity)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def is_key(self, attributes: Iterable[int]) -> bool:
+        """True iff the projection onto ``attributes`` has no duplicates.
+
+        The empty attribute set is a key only for relations with at most
+        one row.
+
+        >>> r = Relation([(1, "a"), (1, "b")])
+        >>> r.is_key([0]), r.is_key([1]), r.is_key([0, 1])
+        (False, True, True)
+        """
+        wanted = tuple(sorted(set(attributes)))
+        seen: Set[Tuple[object, ...]] = set()
+        for row in self.rows:
+            projection = tuple(row[index] for index in wanted)
+            if projection in seen:
+                return False
+            seen.add(projection)
+        return True
+
+    def names(self, attributes: Iterable[int]) -> Tuple[str, ...]:
+        """Column names of an attribute set, for presentation."""
+        return tuple(self.column_names[index] for index in sorted(attributes))
+
+
+def maximal_non_keys(relation: Relation) -> Set[Itemset]:
+    """All maximal attribute sets that are NOT keys, via the pincer search.
+
+    >>> r = Relation([(1, "a", "x"), (1, "b", "x"), (2, "a", "x")])
+    >>> sorted(maximal_non_keys(r))
+    [(0, 2), (1, 2)]
+    """
+    if len(relation.rows) <= 1 or relation.arity == 0:
+        return set()
+    miner = PredicatePincer(
+        lambda attributes: not relation.is_key(attributes),
+        check_antimonotone=False,  # holds by construction
+    )
+    result, _ = miner.mine(range(relation.arity))
+    return result
+
+
+def minimal_keys(relation: Relation) -> Set[Itemset]:
+    """All minimal keys of the relation.
+
+    ``X`` is a key iff it is not contained in any maximal non-key, i.e.
+    iff it hits the complement of each of them; minimal keys are the
+    minimal such hitting sets.
+
+    >>> r = Relation([(1, "a", "x"), (1, "b", "x"), (2, "a", "x")])
+    >>> sorted(minimal_keys(r))
+    [(0, 1)]
+    """
+    universe = tuple(range(relation.arity))
+    if len(relation.rows) <= 1:
+        return {()} if relation.arity >= 0 else set()
+    non_keys = maximal_non_keys(relation)
+    if not non_keys:
+        # every single attribute is already a key (or arity is 0)
+        if relation.arity == 0:
+            return set()
+        return {(index,) for index in universe}
+    complements = [
+        tuple(sorted(set(universe) - set(non_key))) for non_key in non_keys
+    ]
+    if any(not complement for complement in complements):
+        return set()  # the full attribute set is not a key: no keys exist
+    transversals = _minimal_transversals(complements, universe)
+    return {transversal for transversal in transversals}
+
+
+def _minimal_transversals(
+    families: List[Itemset], universe: Itemset
+) -> Set[Itemset]:
+    """Minimal hitting sets of ``families`` by incremental expansion.
+
+    Classic Berge-style algorithm: fold the families in one at a time,
+    keeping the family of partial transversals minimal after each step.
+    Exponential in the worst case; relations with dozens of attributes
+    are fine.
+    """
+    partial: Set[Itemset] = {()}
+    for family in families:
+        expanded: Set[Itemset] = set()
+        for transversal in partial:
+            if any(item in family for item in transversal):
+                expanded.add(transversal)
+                continue
+            for item in family:
+                grown = tuple(sorted(set(transversal) | {item}))
+                expanded.add(grown)
+        partial = set(minimal_elements(expanded))
+    return partial
+
+
+def candidate_key_report(relation: Relation) -> str:
+    """Human-readable summary used by examples and the CLI."""
+    keys = sorted(minimal_keys(relation), key=lambda key: (len(key), key))
+    lines = [
+        "%d rows, %d attributes, %d minimal key(s):"
+        % (len(relation), relation.arity, len(keys))
+    ]
+    for key in keys:
+        lines.append("  (%s)" % ", ".join(relation.names(key)))
+    return "\n".join(lines)

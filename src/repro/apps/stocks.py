@@ -1,0 +1,145 @@
+"""Co-movement pattern discovery in price series (paper application #2).
+
+The paper's conclusion motivates Pincer-Search with stock markets:
+"Prices of individual stocks are frequently quite correlated with each
+other (the market as a whole, goes up or down).  Therefore, the
+discovered patterns may contain many items (stocks) and the frequent
+itemsets are long."
+
+This module performs the standard reduction from price series to market
+baskets: each trading period becomes a transaction whose items are the
+instruments whose return crossed a threshold (up-moves by default; signed
+items distinguish up from down).  Maximal frequent itemsets are then the
+largest groups of instruments that co-move often — and because correlated
+markets make them long, this is exactly the regime where the maximum
+frequent set matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.pincer import PincerSearch
+from ..db.transaction_db import TransactionDatabase
+
+#: Signed item encoding: instrument ``i`` up-move -> ``2 i``, down-move ->
+#: ``2 i + 1``.  Keeps items non-negative ints as the substrate expects.
+UP, DOWN = 0, 1
+
+
+def returns_from_prices(prices: Sequence[float]) -> List[float]:
+    """Simple per-period returns of one price series.
+
+    >>> returns_from_prices([100.0, 110.0, 99.0])
+    [0.1, -0.1]
+    """
+    if any(price <= 0 for price in prices):
+        raise ValueError("prices must be positive")
+    return [
+        (later - earlier) / earlier
+        for earlier, later in zip(prices, prices[1:])
+    ]
+
+
+def movement_item(instrument: int, direction: int) -> int:
+    """Encode (instrument, direction) as a basket item."""
+    if direction not in (UP, DOWN):
+        raise ValueError("direction must be UP (0) or DOWN (1)")
+    return 2 * instrument + direction
+
+
+def decode_item(item: int) -> Tuple[int, int]:
+    """Inverse of :func:`movement_item`.
+
+    >>> decode_item(movement_item(7, DOWN))
+    (7, 1)
+    """
+    return item // 2, item % 2
+
+
+def movements_database(
+    price_table: Mapping[int, Sequence[float]],
+    threshold: float = 0.0,
+    signed: bool = False,
+) -> TransactionDatabase:
+    """Turn aligned price series into a movement-basket database.
+
+    ``price_table`` maps instrument id to its price series; all series
+    must have equal length.  A period's basket holds every instrument
+    whose return exceeds ``threshold`` (and, when ``signed``, items for
+    returns below ``-threshold`` too).
+    """
+    lengths = {len(series) for series in price_table.values()}
+    if len(lengths) > 1:
+        raise ValueError("price series must be aligned (equal length)")
+    if not price_table or lengths.pop() < 2:
+        return TransactionDatabase([])
+    returns = {
+        instrument: returns_from_prices(series)
+        for instrument, series in price_table.items()
+    }
+    num_periods = len(next(iter(returns.values())))
+    baskets: List[List[int]] = []
+    for period in range(num_periods):
+        basket: List[int] = []
+        for instrument, series in returns.items():
+            value = series[period]
+            if value > threshold:
+                basket.append(
+                    movement_item(instrument, UP) if signed else instrument
+                )
+            elif signed and value < -threshold:
+                basket.append(movement_item(instrument, DOWN))
+        baskets.append(basket)
+    universe: Optional[Iterable[int]] = None
+    if signed:
+        universe = [
+            movement_item(instrument, direction)
+            for instrument in price_table
+            for direction in (UP, DOWN)
+        ]
+    else:
+        universe = list(price_table)
+    return TransactionDatabase(baskets, universe=universe)
+
+
+@dataclass(frozen=True)
+class CoMovementGroup:
+    """A maximal set of instruments that co-move frequently."""
+
+    members: Tuple[Tuple[int, int], ...]  # (instrument, direction) pairs
+    support: float
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def instruments(self) -> Tuple[int, ...]:
+        return tuple(instrument for instrument, _ in self.members)
+
+
+def co_movement_groups(
+    price_table: Mapping[int, Sequence[float]],
+    min_support: float,
+    threshold: float = 0.0,
+    signed: bool = False,
+    miner: Optional[PincerSearch] = None,
+) -> List[CoMovementGroup]:
+    """Maximal co-moving instrument groups, largest first."""
+    db = movements_database(price_table, threshold, signed)
+    if len(db) == 0:
+        return []
+    result = (miner or PincerSearch()).mine(db, min_support)
+    groups = []
+    for member in result.mfs:
+        if signed:
+            decoded = tuple(decode_item(item) for item in member)
+        else:
+            decoded = tuple((item, UP) for item in member)
+        groups.append(
+            CoMovementGroup(
+                members=decoded, support=result.support(member) or 0.0
+            )
+        )
+    groups.sort(key=lambda group: (-len(group), group.members))
+    return groups

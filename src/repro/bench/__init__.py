@@ -1,0 +1,39 @@
+"""Benchmark harness: experiment grid and cell runner for Figures 3-4."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    FIGURE3,
+    FIGURE4,
+    ExperimentSpec,
+    bench_scale,
+    build_database,
+    clear_database_cache,
+)
+from .harness import (
+    PAPER_MINERS,
+    CellResult,
+    format_rows,
+    relative_time,
+    run_cell,
+    run_sweep,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "CellResult",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "ExperimentSpec",
+    "FIGURE3",
+    "FIGURE4",
+    "PAPER_MINERS",
+    "bench_scale",
+    "build_database",
+    "clear_database_cache",
+    "format_rows",
+    "relative_time",
+    "run_cell",
+    "run_sweep",
+]

@@ -1,0 +1,129 @@
+"""Analysis and export of benchmark results.
+
+The paper presents its evaluation as figures; a terminal reproduction
+renders them as aligned text charts.  This module turns lists of
+:class:`~repro.bench.harness.CellResult` rows into:
+
+* ``to_csv`` — machine-readable export for external plotting;
+* ``ascii_chart`` — a horizontal-bar chart of any numeric column, the
+  closest a test log gets to the paper's bar groups;
+* ``figure_report`` — the complete text rendition of one figure panel:
+  the three bar groups (relative time, candidates, passes) the paper
+  plots, ready for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as io_module
+from typing import Dict, Iterable, List, Sequence
+
+from .harness import CellResult, relative_time
+
+CSV_COLUMNS = [
+    "database",
+    "min_support_percent",
+    "algorithm",
+    "seconds",
+    "dnf",
+    "passes",
+    "candidates",
+    "total_candidates",
+    "mfs_size",
+    "longest_maximal",
+    "maximal_found_in_mfcs",
+]
+
+
+def to_csv(rows: Iterable[CellResult]) -> str:
+    """Render rows as CSV text (header + one line per cell)."""
+    buffer = io_module.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS)
+    for row in rows:
+        writer.writerow([getattr(row, column) for column in CSV_COLUMNS])
+    return buffer.getvalue()
+
+
+def write_csv(rows: Iterable[CellResult], path) -> None:
+    """Write :func:`to_csv` output to a file."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(to_csv(rows))
+
+
+def ascii_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart: one `█`-bar per (label, value).
+
+    >>> print(ascii_chart(["a", "b"], [1.0, 2.0], width=4))
+    a ██    1
+    b ████  2
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return ""
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            "%-*s %-*s %g%s"
+            % (label_width, label, width + 1, bar, round(value, 3), unit)
+        )
+    return "\n".join(lines)
+
+
+def _group_by_support(
+    rows: Iterable[CellResult],
+) -> Dict[float, Dict[str, CellResult]]:
+    grouped: Dict[float, Dict[str, CellResult]] = {}
+    for row in rows:
+        grouped.setdefault(row.min_support_percent, {})[row.algorithm] = row
+    return grouped
+
+
+def figure_report(rows: Sequence[CellResult], title: str = "") -> str:
+    """The paper-figure rendition: three chart panels per database sweep.
+
+    Panel 1 — relative time (Apriori / Pincer-Search), the quantity the
+    paper's prose quotes; panels 2 and 3 — candidates and passes, per
+    algorithm, grouped by minimum support.
+    """
+    grouped = _group_by_support(rows)
+    supports = sorted(grouped, reverse=True)
+    sections: List[str] = []
+    if title:
+        sections.append(title)
+
+    ratios = relative_time(rows)
+    if ratios:
+        labels = ["%g%%" % support for support in supports if support in ratios]
+        values = [ratios[support] for support in supports if support in ratios]
+        dnf_mark = {
+            support
+            for support, cells in grouped.items()
+            if any(row.dnf for row in cells.values())
+        }
+        chart = ascii_chart(labels, values, unit="x")
+        if dnf_mark:
+            chart += "\n(bars at supports %s are lower bounds: Apriori DNF)" % (
+                ", ".join("%g%%" % support for support in sorted(dnf_mark))
+            )
+        sections.append("relative time (Apriori / Pincer-Search):\n" + chart)
+
+    for panel, column in (("candidates", "candidates"), ("passes", "passes")):
+        labels, values = [], []
+        for support in supports:
+            for algorithm in sorted(grouped[support]):
+                labels.append("%g%% %s" % (support, algorithm))
+                values.append(getattr(grouped[support][algorithm], column))
+        sections.append(
+            "%s per cell:\n%s" % (panel, ascii_chart(labels, values))
+        )
+    return "\n\n".join(sections)

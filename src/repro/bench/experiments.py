@@ -1,0 +1,120 @@
+"""The paper's experiment grid (Figures 3 and 4) at configurable scale.
+
+Each :class:`ExperimentSpec` is one figure panel: a Quest database plus a
+minimum-support sweep, annotated with the behaviour the paper reports for
+it.  ``build_database`` materialises the workload at a laptop-friendly
+``|D|`` (default 10 000 transactions; override with the
+``REPRO_BENCH_SCALE`` environment variable, up to the paper's 100 000) and
+memoises it so a pytest-benchmark session generates each database once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..datagen.configs import parse_name, scaled
+from ..datagen.quest import QuestGenerator
+from ..db.transaction_db import TransactionDatabase
+
+#: Default |D| for benchmark runs; the paper uses 100K.  2 000 keeps the
+#: full two-figure grid under ~10 minutes of pure-Python mining while the
+#: support thresholds (fractions) keep the workload shape; export
+#: REPRO_BENCH_SCALE=100000 for a paper-scale run.
+DEFAULT_SCALE = 2_000
+
+#: Seed for the generator — fixed so every run sees the same databases.
+DEFAULT_SEED = 20260706
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One figure panel of the paper's evaluation."""
+
+    experiment_id: str
+    database: str
+    num_patterns: int  # the |L| knob: 2000 scattered, 50 concentrated
+    supports_percent: Tuple[float, ...]
+    paper_expectation: str
+
+
+FIGURE3: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "fig3-t5-i2", "T5.I2.D100K", 2000, (0.75, 0.5, 0.33, 0.25),
+            "Pincer may count MORE candidates (short maximal itemsets give "
+            "MFCS little to prune) yet stays close on time; paper reports "
+            "small wins from saved passes.",
+        ),
+        ExperimentSpec(
+            "fig3-t10-i4", "T10.I4.D100K", 2000, (1.5, 1.0, 0.75, 0.5),
+            "Best scattered case in the paper: 1.7x at 0.5%; may be "
+            "slightly slower at 0.75% (MFCS overhead without payoff).",
+        ),
+        ExperimentSpec(
+            "fig3-t20-i6", "T20.I6.D100K", 2000, (1.0, 0.75, 0.5, 0.33),
+            "Scattered; modest improvements from pass/candidate reduction.",
+        ),
+    )
+}
+
+FIGURE4: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "fig4-t20-i6", "T20.I6.D100K", 50, (18.0, 15.0, 12.0, 11.0),
+            "Concentrated; ~2.3x at 18%; non-monotone MFS: at 11% the "
+            "maximal itemsets lengthen, Apriori needs MORE passes (8->9) "
+            "while Pincer drops to ~4.",
+        ),
+        ExperimentSpec(
+            "fig4-t20-i10", "T20.I10.D100K", 50, (12.0, 9.0, 6.0),
+            "~23x at 6%: early top-down discovery of maximal itemsets with "
+            "up to 16 items removes their subsets from the search.",
+        ),
+        ExperimentSpec(
+            "fig4-t20-i15", "T20.I15.D100K", 50, (9.0, 8.0, 7.0, 6.0),
+            "Flagship: >2 orders of magnitude at 6-7%; Pincer finds "
+            "17-item maximal itemsets in as few as 3 passes.",
+        ),
+    )
+}
+
+ALL_EXPERIMENTS: Dict[str, ExperimentSpec] = {**FIGURE3, **FIGURE4}
+
+_DATABASE_CACHE: Dict[Tuple[str, int, int, int], TransactionDatabase] = {}
+
+
+def bench_scale() -> int:
+    """|D| used by the benchmark harness (env ``REPRO_BENCH_SCALE``)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    if not raw:
+        return DEFAULT_SCALE
+    value = int(raw)
+    if value < 1:
+        raise ValueError("REPRO_BENCH_SCALE must be positive")
+    return value
+
+
+def build_database(
+    spec: ExperimentSpec,
+    num_transactions: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+) -> TransactionDatabase:
+    """Materialise (and memoise) the Quest database of an experiment."""
+    scale = num_transactions if num_transactions is not None else bench_scale()
+    key = (spec.database, spec.num_patterns, scale, seed)
+    if key not in _DATABASE_CACHE:
+        config = scaled(
+            parse_name(spec.database, num_patterns=spec.num_patterns, seed=seed),
+            scale,
+        )
+        _DATABASE_CACHE[key] = QuestGenerator(config).generate()
+    return _DATABASE_CACHE[key]
+
+
+def clear_database_cache() -> None:
+    """Drop memoised databases (tests use this to bound memory)."""
+    _DATABASE_CACHE.clear()

@@ -1,0 +1,15 @@
+"""Border theory utilities (positive/negative borders of itemset families)."""
+
+from .borders import (
+    border_certificate,
+    is_downward_closed,
+    negative_border,
+    positive_border,
+)
+
+__all__ = [
+    "border_certificate",
+    "is_downward_closed",
+    "negative_border",
+    "positive_border",
+]

@@ -1,0 +1,109 @@
+"""Borders of itemset theories (Mannila & Toivonen).
+
+The paper's related-work section points to Mannila and Toivonen's
+"Levelwise search and borders of theories" [11]: the frequent itemsets
+form a downward-closed family whose *positive border* is exactly the
+maximum frequent set, and whose *negative border* is the set of minimal
+infrequent itemsets — precisely the itemsets any levelwise algorithm must
+count and reject.  These notions make sharp test oracles:
+
+* Pincer-Search's output must equal the positive border of the
+  brute-force frequent family;
+* Apriori's counted-and-rejected candidates are a subset of the negative
+  border plus nothing below it;
+* ``|negative border|`` lower-bounds the candidates of any bottom-up
+  algorithm, which is the complexity model the paper escapes ("as our
+  algorithm does not fit in this model, their complexity low bound does
+  not apply to it", Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from ..core.candidates import apriori_join
+from ..core.cover import CoverIndex
+from ..core.itemset import Itemset
+from ..core.lattice import downward_closure, maximal_elements
+
+
+def positive_border(family: Iterable[Itemset]) -> Set[Itemset]:
+    """Maximal members of a downward-closed family (= the MFS).
+
+    >>> sorted(positive_border([(1,), (2,), (1, 2), (3,)]))
+    [(1, 2), (3,)]
+    """
+    return maximal_elements(family)
+
+
+def negative_border(
+    mfs: Iterable[Itemset], universe: Iterable[int]
+) -> Set[Itemset]:
+    """Minimal itemsets outside the family described by ``mfs``.
+
+    ``mfs`` describes the downward-closed family of frequent itemsets; an
+    itemset is in the negative border iff it is not frequent but all of
+    its immediate subsets are.  Enumeration is levelwise: infrequent
+    single items first, then for every frequent level the join of its
+    members filtered by the all-subsets-frequent condition (any border
+    itemset of size ≥ 2 appears in that join output, because its two
+    lexicographically adjacent immediate subsets share a prefix).
+
+    >>> sorted(negative_border([(1, 2)], [1, 2, 3]))
+    [(3,)]
+    >>> sorted(negative_border([(1, 2), (1, 3), (2, 3)], [1, 2, 3]))
+    [(1, 2, 3)]
+    """
+    cover = CoverIndex(maximal_elements(mfs))
+    border: Set[Itemset] = {
+        (item,) for item in sorted(set(universe)) if not cover.covers((item,))
+    }
+    frequent = downward_closure(cover.members)
+    levels = sorted({len(member) for member in frequent})
+    for level in levels:
+        level_members = sorted(f for f in frequent if len(f) == level)
+        for candidate in apriori_join(level_members):
+            if cover.covers(candidate):
+                continue
+            if all(
+                subset in frequent
+                for subset in _immediate_subsets(candidate)
+            ):
+                border.add(candidate)
+    return border
+
+
+def _immediate_subsets(candidate: Itemset):
+    for index in range(len(candidate)):
+        yield candidate[:index] + candidate[index + 1:]
+
+
+def border_certificate(
+    mfs: Iterable[Itemset], universe: Iterable[int]
+) -> int:
+    """Size of the smallest "certificate" a levelwise miner must verify.
+
+    ``|positive border| + |negative border|`` — every bottom-up
+    breadth-first algorithm counts at least this many itemsets (Mannila &
+    Toivonen's lower bound).  Pincer-Search can beat it because frequent
+    MFCS elements certify entire sublattices at once.
+    """
+    mfs_set = maximal_elements(mfs)
+    return len(mfs_set) + len(negative_border(mfs_set, universe))
+
+
+def is_downward_closed(family: Iterable[Itemset]) -> bool:
+    """True iff the family contains every non-empty subset of its members.
+
+    >>> is_downward_closed([(1,), (2,), (1, 2)])
+    True
+    >>> is_downward_closed([(1, 2)])
+    False
+    """
+    members = set(family)
+    return all(
+        subset in members
+        for member in members
+        for subset in _immediate_subsets(member)
+        if subset
+    )

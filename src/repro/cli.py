@@ -1,0 +1,254 @@
+"""Command-line interface: ``pincer <subcommand>``.
+
+Four subcommands cover the end-to-end workflow:
+
+* ``generate`` — synthesise a Quest benchmark database to a file;
+* ``mine``     — discover the maximum frequent set of a database file;
+* ``rules``    — mine and then emit association rules (MFS-first);
+* ``bench``    — run one of the paper's experiments and print its rows.
+
+Run ``pincer <subcommand> --help`` for the full flag list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .algorithms.apriori import Apriori
+from .algorithms.topdown import TopDown
+from .bench.experiments import ALL_EXPERIMENTS, build_database
+from .bench.harness import bench_budget, format_rows, run_sweep
+from .core.itemset import format_itemset
+from .core.pincer import PincerSearch
+from .datagen.configs import parse_name
+from .datagen.quest import QuestGenerator, generate
+from .db import io
+from .db.counting import available_engines
+from .rules.from_mfs import rules_from_mfs
+from .rules.generation import interesting_rules
+
+
+def _make_miner(name: str, engine: str):
+    if name == "pincer":
+        return PincerSearch(engine=engine, adaptive=True)
+    if name == "pincer-pure":
+        return PincerSearch(engine=engine, adaptive=False)
+    if name == "apriori":
+        return Apriori(engine=engine)
+    if name == "topdown":
+        return TopDown(engine=engine)
+    raise ValueError("unknown algorithm %r" % name)
+
+
+def _add_mine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", help="database file (.dat/.basket/.csv/.json)")
+    parser.add_argument(
+        "--min-support", type=float, required=True, metavar="PCT",
+        help="minimum support as a percentage, e.g. 1.5",
+    )
+    parser.add_argument(
+        "--algorithm", default="pincer",
+        choices=("pincer", "pincer-pure", "apriori", "topdown"),
+    )
+    parser.add_argument(
+        "--engine", default="bitmap", choices=available_engines(),
+        help="support-counting engine",
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = parse_name(
+        args.name, num_patterns=args.patterns, num_items=args.items,
+        seed=args.seed,
+    )
+    if args.transactions is not None:
+        from dataclasses import replace
+
+        config = replace(config, num_transactions=args.transactions)
+    db = QuestGenerator(config).generate()
+    io.save(db, args.out)
+    print(
+        "wrote %s: %d transactions, %d items, avg size %.2f"
+        % (args.out, len(db), db.num_items, db.average_transaction_size())
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db = io.load(args.input)
+    miner = _make_miner(args.algorithm, args.engine)
+    result = miner.mine(db, args.min_support / 100.0)
+    print(result.stats.summary())
+    print("maximum frequent set (%d itemsets):" % len(result.mfs))
+    for member in result.sorted_mfs():
+        support = result.support(member)
+        print(
+            "  %s  support=%.4f" % (format_itemset(member), support or 0.0)
+        )
+    if args.show_passes:
+        for stats in result.stats.passes:
+            print(
+                "  pass %d: %d candidates (%d MFCS), %d maximal found"
+                % (
+                    stats.pass_number,
+                    stats.total_candidates,
+                    stats.mfcs_candidates,
+                    stats.maximal_found,
+                )
+            )
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    db = io.load(args.input)
+    miner = _make_miner(args.algorithm, args.engine)
+    result = miner.mine(db, args.min_support / 100.0)
+    rules = rules_from_mfs(
+        db, result, min_confidence=args.min_confidence / 100.0,
+        depth=args.depth, engine=args.engine,
+    )
+    rules = interesting_rules(rules, min_lift=args.min_lift, top=args.top)
+    print("%d rules (minconf %g%%):" % (len(rules), args.min_confidence))
+    for rule in rules:
+        print("  %s" % rule)
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    import csv as csv_module
+
+    from .apps.keys import Relation, candidate_key_report
+
+    with open(args.input, "r", encoding="utf-8", newline="") as handle:
+        reader = csv_module.reader(handle)
+        rows = [tuple(row) for row in reader if row]
+    if not rows:
+        print("%s: empty relation" % args.input, file=sys.stderr)
+        return 2
+    if args.no_header:
+        header: list = []
+    else:
+        header, rows = list(rows[0]), rows[1:]
+    relation = Relation(rows, column_names=header)
+    print(candidate_key_report(relation))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec = ALL_EXPERIMENTS.get(args.experiment)
+    if spec is None:
+        print(
+            "unknown experiment %r; choose from: %s"
+            % (args.experiment, ", ".join(sorted(ALL_EXPERIMENTS))),
+            file=sys.stderr,
+        )
+        return 2
+    db = build_database(spec, num_transactions=args.scale)
+    supports = (
+        tuple(args.min_support) if args.min_support else spec.supports_percent
+    )
+    budget = args.budget if args.budget is not None else bench_budget()
+    rows = run_sweep(db, spec.database, supports, time_budget=budget)
+    title = "%s (|L|=%d, |D|=%d)\npaper: %s" % (
+        spec.database, spec.num_patterns, len(db), spec.paper_expectation,
+    )
+    print(format_rows(rows, title))
+    if args.chart:
+        from .bench.analysis import figure_report
+
+        print()
+        print(figure_report(rows))
+    if args.csv:
+        from .bench.analysis import write_csv
+
+        write_csv(rows, args.csv)
+        print("wrote %s" % args.csv)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pincer",
+        description="Pincer-Search (Lin & Kedem, EDBT 1998) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="synthesise a Quest database")
+    gen.add_argument("name", help="database name, e.g. T10.I4.D100K")
+    gen.add_argument("--out", required=True, help="output file")
+    gen.add_argument("--patterns", type=int, default=2000, help="|L|")
+    gen.add_argument("--items", type=int, default=1000, help="N")
+    gen.add_argument(
+        "--transactions", type=int, default=None,
+        help="override |D| from the name",
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(handler=_cmd_generate)
+
+    mine = commands.add_parser("mine", help="discover the maximum frequent set")
+    _add_mine_flags(mine)
+    mine.add_argument(
+        "--show-passes", action="store_true", help="print per-pass stats"
+    )
+    mine.set_defaults(handler=_cmd_mine)
+
+    rules = commands.add_parser("rules", help="mine and emit association rules")
+    _add_mine_flags(rules)
+    rules.add_argument(
+        "--min-confidence", type=float, default=80.0, metavar="PCT"
+    )
+    rules.add_argument(
+        "--depth", type=int, default=2,
+        help="how far below the maximal itemsets to expand",
+    )
+    rules.add_argument("--min-lift", type=float, default=0.0)
+    rules.add_argument("--top", type=int, default=None)
+    rules.set_defaults(handler=_cmd_rules)
+
+    keys = commands.add_parser(
+        "keys", help="discover the minimal keys of a CSV relation"
+    )
+    keys.add_argument("input", help="CSV file; first row is the header")
+    keys.add_argument(
+        "--no-header", action="store_true",
+        help="treat the first row as data (columns get default names)",
+    )
+    keys.set_defaults(handler=_cmd_keys)
+
+    bench = commands.add_parser("bench", help="run a paper experiment")
+    bench.add_argument(
+        "experiment",
+        help="experiment id, e.g. fig4-t20-i15 (see DESIGN.md)",
+    )
+    bench.add_argument(
+        "--scale", type=int, default=None, help="|D| override (default 10000)"
+    )
+    bench.add_argument(
+        "--min-support", type=float, action="append", metavar="PCT",
+        help="override the support sweep (repeatable)",
+    )
+    bench.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="per-miner time budget for a cell (Apriori may DNF)",
+    )
+    bench.add_argument(
+        "--chart", action="store_true",
+        help="also render the figure's panels as text bar charts",
+    )
+    bench.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="export the cells as CSV",
+    )
+    bench.set_defaults(handler=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

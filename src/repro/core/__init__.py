@@ -1,0 +1,46 @@
+"""Core of the reproduction: itemset algebra, MFCS, and Pincer-Search."""
+
+from .adaptive import AdaptivePolicy, AlwaysMaintain, NeverMaintain
+from .candidates import (
+    apriori_join,
+    apriori_prune,
+    first_level_candidates,
+    generate_candidates,
+    pincer_prune,
+    recovery,
+)
+from .cover import CoverIndex
+from .itemset import EMPTY, Itemset, itemset
+from .mfcs import MFCS
+from .pincer import PincerSearch, pincer_search, resolve_threshold
+from .predicate import PredicatePincer, maximal_satisfying_sets
+from .result import MiningResult, MiningTimeout
+from .stats import MiningStats, PassStats
+from .versionspace import InconsistentInstance, VersionSpace, replay_mining_run
+
+__all__ = [
+    "EMPTY",
+    "AdaptivePolicy",
+    "AlwaysMaintain",
+    "CoverIndex",
+    "InconsistentInstance",
+    "Itemset",
+    "MFCS",
+    "MiningResult",
+    "MiningStats",
+    "MiningTimeout",
+    "NeverMaintain",
+    "PassStats",
+    "PincerSearch",
+    "PredicatePincer",
+    "VersionSpace",
+    "apriori_join",
+    "apriori_prune",
+    "first_level_candidates",
+    "generate_candidates",
+    "itemset",
+    "pincer_prune",
+    "pincer_search",
+    "recovery",
+    "resolve_threshold",
+]

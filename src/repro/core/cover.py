@@ -1,0 +1,152 @@
+"""Fast subset-cover queries over a family of itemsets.
+
+Both halves of Pincer-Search keep asking one question about a *family* of
+itemsets: "is this probe a subset of some member?"  The bottom-up side
+asks it against the MFS (Observation-2 pruning in ``L_k`` filtering and
+the new prune); the top-down side asks it against the MFCS (minimality
+maintenance in MFCS-gen, and finding the elements an infrequent itemset
+splits).
+
+A linear scan is O(|family| · |probe|) per query and dominated the
+profile, so :class:`CoverIndex` keeps an inverted index from item to a
+bitmask of member ids.  Then
+
+* ``covers(probe)`` — does some member contain all items of ``probe``? —
+  is the AND of the probe's item masks (non-zero means yes), and
+* ``supersets_of(probe)`` decodes the same AND into the member itemsets,
+
+turning each query into a few arbitrary-precision integer operations.
+Removals just clear a bit in the ``alive`` mask; ids are recycled through
+a free list so long-running MFCS churn does not grow the masks forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .itemset import Itemset
+
+
+class CoverIndex:
+    """Inverted-index family of itemsets supporting subset-cover queries."""
+
+    def __init__(self, members: Iterable[Itemset] = ()) -> None:
+        self._members: List[Optional[Itemset]] = []
+        self._slot_of: Dict[Itemset, int] = {}
+        self._item_masks: Dict[int, int] = {}
+        self._alive = 0
+        self._free_slots: List[int] = []
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(list(self._slot_of))
+
+    def __contains__(self, member: Itemset) -> bool:
+        return member in self._slot_of
+
+    def __bool__(self) -> bool:
+        return bool(self._slot_of)
+
+    def __repr__(self) -> str:
+        return "CoverIndex(%d members)" % len(self._slot_of)
+
+    @property
+    def members(self) -> List[Itemset]:
+        """Snapshot of the current members."""
+        return list(self._slot_of)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, member: Itemset) -> bool:
+        """Insert a member; returns False if it was already present."""
+        if member in self._slot_of:
+            return False
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._members[slot] = member
+        else:
+            slot = len(self._members)
+            self._members.append(member)
+        self._slot_of[member] = slot
+        bit = 1 << slot
+        self._alive |= bit
+        for item in member:
+            self._item_masks[item] = self._item_masks.get(item, 0) | bit
+        return True
+
+    def discard(self, member: Itemset) -> bool:
+        """Remove a member; returns False if it was not present.
+
+        Item masks keep the stale bit — queries mask with ``alive`` — and
+        the slot is recycled after its bit is scrubbed on reuse.
+        """
+        slot = self._slot_of.pop(member, None)
+        if slot is None:
+            return False
+        bit = 1 << slot
+        self._alive &= ~bit
+        for item in member:
+            self._item_masks[item] &= ~bit
+        self._members[slot] = None
+        self._free_slots.append(slot)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def covers(self, probe: Itemset) -> bool:
+        """True iff some member is a superset of ``probe``.
+
+        The empty probe is covered whenever the family is non-empty.
+        """
+        return self._matches(probe) != 0
+
+    def covers_strictly(self, probe: Itemset) -> bool:
+        """True iff some member is a *proper* superset of ``probe``."""
+        matches = self._matches(probe)
+        slot = self._slot_of.get(probe)
+        if slot is not None:
+            matches &= ~(1 << slot)
+        return matches != 0
+
+    def supersets_of(self, probe: Itemset) -> List[Itemset]:
+        """All members that contain ``probe``."""
+        matches = self._matches(probe)
+        found: List[Itemset] = []
+        while matches:
+            low_bit = matches & -matches
+            member = self._members[low_bit.bit_length() - 1]
+            assert member is not None
+            found.append(member)
+            matches ^= low_bit
+        return found
+
+    def _matches(self, probe: Itemset) -> int:
+        accumulator = self._alive
+        masks = self._item_masks
+        for item in probe:
+            mask = masks.get(item)
+            if mask is None:
+                return 0
+            accumulator &= mask
+            if not accumulator:
+                return 0
+        return accumulator
+
+
+def as_cover(family: object) -> CoverIndex:
+    """Coerce an iterable of itemsets (or a CoverIndex) into a CoverIndex."""
+    if isinstance(family, CoverIndex):
+        return family
+    return CoverIndex(family)  # type: ignore[arg-type]

@@ -1,0 +1,142 @@
+"""Utilities over the itemset lattice (the paper's "hypothesis search space").
+
+The search space of frequent-itemset discovery is the power-set lattice of
+the item universe — the paper's Figure 1 draws it as a binomial graph.  The
+functions here answer structural questions about that lattice: antichain
+tests, downward closures, cover counting.  They back both the MFCS data
+structure (which is an antichain by construction) and the test oracles.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import AbstractSet, Iterable, Iterator, Set
+
+from .cover import CoverIndex
+from .itemset import Itemset, all_subsets, is_proper_subset, is_subset
+
+
+def is_antichain(collection: Iterable[Itemset]) -> bool:
+    """True if no member of ``collection`` is a subset of another member.
+
+    Both MFS and MFCS are antichains at all times; the property tests lean
+    on this predicate.  Duplicated entries in ``collection`` are collapsed
+    first (a set is not a proper subset of itself).
+
+    >>> is_antichain([(1, 2), (2, 3)])
+    True
+    >>> is_antichain([(1,), (1, 2)])
+    False
+    """
+    index = CoverIndex(set(collection))
+    return not any(index.covers_strictly(member) for member in index)
+
+
+def maximal_elements(collection: Iterable[Itemset]) -> Set[Itemset]:
+    """The maximal members of ``collection`` under set inclusion.
+
+    Applied to the frequent set this yields exactly the maximum frequent
+    set, which is how the brute-force oracle computes its answer.  Members
+    are scanned longest-first against a cover index of the maximal ones
+    found so far, so the cost is near-linear instead of quadratic.
+
+    >>> sorted(maximal_elements([(1,), (1, 2), (3,)]))
+    [(1, 2), (3,)]
+    """
+    index = CoverIndex()
+    result: Set[Itemset] = set()
+    for member in sorted(set(collection), key=len, reverse=True):
+        if not index.covers(member):
+            index.add(member)
+            result.add(member)
+    return result
+
+
+def minimal_elements(collection: Iterable[Itemset]) -> Set[Itemset]:
+    """The minimal members of ``collection`` under set inclusion.
+
+    >>> sorted(minimal_elements([(1,), (1, 2), (3,)]))
+    [(1,), (3,)]
+    """
+    members = list(set(collection))
+    return {
+        member
+        for member in members
+        if not any(is_proper_subset(other, member) for other in members)
+    }
+
+
+def downward_closure(collection: Iterable[Itemset]) -> Set[Itemset]:
+    """All non-empty subsets of all members — the frequent set an MFS implies.
+
+    "frequent itemsets are precisely all the non-empty subsets of its
+    elements" (paper, Section 1).
+
+    >>> sorted(downward_closure([(1, 2)]))
+    [(1,), (1, 2), (2,)]
+    """
+    closure: Set[Itemset] = set()
+    for member in collection:
+        for subset in all_subsets(member):
+            if subset:
+                closure.add(subset)
+    return closure
+
+
+def covers(cover: Iterable[Itemset], candidate: Itemset) -> bool:
+    """True if ``candidate`` is a subset of some member of ``cover``."""
+    return any(is_subset(candidate, member) for member in cover)
+
+
+def covered_count(collection: Iterable[Itemset]) -> int:
+    """Number of distinct non-empty itemsets covered by ``collection``.
+
+    Exponential in member length; intended for test-sized inputs only.
+    """
+    return len(downward_closure(collection))
+
+
+def implied_frequent_count(length: int) -> int:
+    """Non-trivial frequent itemsets implied by one maximal itemset.
+
+    The paper's Section 1: a maximal frequent itemset of size ``l`` implies
+    the presence of ``2**l - 2`` non-trivial frequent itemsets.
+
+    >>> implied_frequent_count(3)
+    6
+    """
+    if length < 1:
+        return 0
+    return 2 ** length - 2
+
+
+def level_width(universe_size: int, level: int) -> int:
+    """Number of ``level``-itemsets over a universe of ``universe_size`` items.
+
+    >>> level_width(5, 2)
+    10
+    """
+    return comb(universe_size, level)
+
+
+def lattice_size(universe_size: int) -> int:
+    """Total number of non-empty itemsets over the universe.
+
+    >>> lattice_size(3)
+    7
+    """
+    return 2 ** universe_size - 1
+
+
+def level_of(collection: AbstractSet[Itemset], level: int) -> Set[Itemset]:
+    """Members of ``collection`` whose length equals ``level``."""
+    return {member for member in collection if len(member) == level}
+
+
+def levels(collection: Iterable[Itemset]) -> Iterator[int]:
+    """Sorted distinct lengths present in ``collection``.
+
+    >>> list(levels([(1,), (2, 3), (4,)]))
+    [1, 2]
+    """
+    return iter(sorted({len(member) for member in collection}))

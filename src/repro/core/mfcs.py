@@ -1,0 +1,290 @@
+"""The maximum frequent candidate set (MFCS) and the MFCS-gen algorithm.
+
+Definition 1 of the paper: at any point of the search, the MFCS is a
+minimum-cardinality set of itemsets such that the union of all the subsets
+of its elements (i) contains every itemset classified frequent so far and
+(ii) contains no itemset classified infrequent so far.  The MFCS is always
+a superset of the (final) MFS, and the top-down half of Pincer-Search is
+nothing but maintaining this set and counting its elements.
+
+The update rule (Section 3.2, algorithm *MFCS-gen*): for every newly
+discovered infrequent itemset ``s`` and every MFCS element ``m ⊇ s``,
+replace ``m`` by the ``|s|`` itemsets ``m \\ {e}`` for ``e ∈ s``, keeping
+only those not already covered by another element.  Removing exactly one
+item of ``s`` produces the *longest* subsets of ``m`` that exclude ``s``,
+which is what keeps the MFCS minimum (Lemma 1).
+
+Two documented amendments (DESIGN.md A4/A5) refine the paper's pseudocode:
+
+* replacements that are subsets of an already-discovered maximal frequent
+  itemset are dropped, so the working invariant is that **MFS ∪ MFCS**
+  jointly cover all frequent itemsets and the MFCS never re-counts known
+  frequent territory;
+* the empty itemset is never stored.
+
+All containment bookkeeping runs on :class:`~repro.core.cover.CoverIndex`,
+so splitting on an infrequent itemset touches only the elements that
+actually contain it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set
+
+from .cover import CoverIndex, as_cover
+from .itemset import Itemset, is_subset, sort_itemsets, without_item
+from .lattice import is_antichain
+
+
+class MFCS:
+    """Mutable maximum-frequent-candidate-set.
+
+    >>> mfcs = MFCS([(1, 2, 3, 4, 5, 6)])
+    >>> mfcs.exclude((1, 6))
+    >>> mfcs.exclude((3, 6))
+    >>> sorted(mfcs)
+    [(1, 2, 3, 4, 5), (2, 4, 5, 6)]
+
+    (This is the paper's Section 3.2 worked example.)
+    """
+
+    def __init__(self, elements: Iterable[Itemset] = ()) -> None:
+        self._index = CoverIndex()
+        # longest-first insertion makes construction from an arbitrary
+        # family keep only its maximal members
+        for element in sorted(set(elements), key=len, reverse=True):
+            self.add(element)
+
+    @classmethod
+    def for_universe(cls, universe: Iterable[int]) -> "MFCS":
+        """The paper's initial MFCS: one element holding every item.
+
+        >>> sorted(MFCS.for_universe([2, 1, 3]))
+        [(1, 2, 3)]
+        """
+        top = tuple(sorted(set(universe)))
+        return cls([top] if top else [])
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self._index)
+
+    def __contains__(self, element: Itemset) -> bool:
+        return element in self._index
+
+    def __bool__(self) -> bool:
+        return bool(self._index)
+
+    def __repr__(self) -> str:
+        preview = sort_itemsets(self._index.members)[:4]
+        suffix = ", ..." if len(self._index) > 4 else ""
+        return "MFCS(%s%s)" % (preview, suffix)
+
+    @property
+    def elements(self) -> Set[Itemset]:
+        """A snapshot copy of the current elements."""
+        return set(self._index.members)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, element: Itemset) -> bool:
+        """Insert ``element`` unless it is already covered; prune its subsets.
+
+        Maintains the antichain/minimality property.  Returns True when the
+        element was actually inserted.
+        """
+        if not element:
+            return False
+        if self._index.covers(element):
+            return False
+        for member in self._index.members:
+            if is_subset(member, element):
+                self._index.discard(member)
+        self._index.add(element)
+        return True
+
+    def remove(self, element: Itemset) -> None:
+        """Remove an element (e.g. one promoted to the MFS)."""
+        self._index.discard(element)
+
+    def exclude(
+        self,
+        infrequent: Itemset,
+        protected: Optional[object] = None,
+    ) -> None:
+        """MFCS-gen for a single infrequent itemset.
+
+        Every element containing ``infrequent`` is replaced by its maximal
+        subsets that avoid ``infrequent``.  Replacements covered by another
+        element — or by any itemset in ``protected`` (the current MFS,
+        amendment A4) — are dropped.
+        """
+        if not infrequent:
+            raise ValueError("cannot exclude the empty itemset")
+        protected_cover = as_cover(protected) if protected is not None else None
+        self._exclude(infrequent, protected_cover, None)
+
+    def _exclude(
+        self,
+        infrequent: Itemset,
+        protected: Optional[CoverIndex],
+        budget: Optional[List[int]],
+    ) -> bool:
+        """Split every element containing ``infrequent``.
+
+        ``budget`` (a one-element mutable list of remaining work units,
+        where one unit ≈ one item-mask lookup) implements the adaptive
+        version's work cap; returns False when it ran out mid-split.
+        """
+        for element in self._index.supersets_of(infrequent):
+            if budget is not None:
+                budget[0] -= len(element) * len(infrequent)
+                if budget[0] < 0:
+                    return False
+            self._index.discard(element)
+            for item in infrequent:
+                replacement = without_item(element, item)
+                if not replacement:
+                    continue  # amendment A5: never store the empty itemset
+                if self._index.covers(replacement):
+                    continue
+                if protected is not None and protected.covers(replacement):
+                    continue
+                # A replacement is never a *superset* of a remaining
+                # element (it lost an item of a former antichain member
+                # that every split sibling retains — see tests), so a
+                # plain insert keeps the antichain property.
+                self._index.add(replacement)
+        return True
+
+    def update(
+        self,
+        infrequent_sets: Iterable[Itemset],
+        protected: Optional[object] = None,
+        size_cap: Optional[int] = None,
+        work_cap: Optional[int] = None,
+    ) -> bool:
+        """The full MFCS-gen loop over a batch of infrequent itemsets.
+
+        The paper runs this once per pass with ``S_k``; Pincer-Search also
+        feeds MFCS elements that were themselves counted infrequent
+        (amendment A2).
+
+        Two guards implement the adaptive version (Section 3.5); when
+        either trips, the update stops and returns False — the caller
+        should abandon the MFCS, whose contents are no longer meaningful:
+
+        * ``size_cap`` — maximum number of elements; a blown-up MFCS costs
+          more support counting than the top-down search can save;
+        * ``work_cap`` — maximum split work (in item-mask-lookup units);
+          on scattered distributions the pass-2 update degenerates into
+          incremental maximal-clique maintenance over the frequent-pair
+          graph, whose cost must be bounded *during* the update.
+
+        Returns True when fully applied.
+        """
+        protected_cover = as_cover(protected) if protected is not None else None
+        budget = [work_cap] if work_cap is not None else None
+        singletons = []
+        larger = []
+        for infrequent in infrequent_sets:
+            (singletons if len(infrequent) == 1 else larger).append(infrequent)
+        if singletons and not self._exclude_items(
+            {s[0] for s in singletons}, protected_cover, budget
+        ):
+            return False
+        if size_cap is not None and len(self._index) > size_cap:
+            return False
+        for infrequent in larger:
+            if not self._exclude(infrequent, protected_cover, budget):
+                return False
+            if size_cap is not None and len(self._index) > size_cap:
+                return False
+        return True
+
+    def _exclude_items(
+        self,
+        items: "set[int]",
+        protected: Optional[CoverIndex],
+        budget: Optional[List[int]],
+    ) -> bool:
+        """Batch fast path for infrequent *1-itemsets*.
+
+        Splitting on a singleton ``{e}`` replaces each element containing
+        ``e`` by the single itemset ``element \\ {e}``, so a batch of
+        singletons just strips all the batch items from every element —
+        pass 1's "top-down search goes down m levels in one pass" costs
+        one rebuild instead of ``m`` incremental splits.  Stripping is
+        inclusion-monotone, so taking maximal survivors afterwards gives
+        exactly the sequential MFCS-gen result.
+        """
+        replacements = []
+        for element in self._index.members:
+            if not any(item in items for item in element):
+                continue
+            if budget is not None:
+                budget[0] -= len(element)
+                if budget[0] < 0:
+                    return False
+            self._index.discard(element)
+            replacements.append(
+                tuple(item for item in element if item not in items)
+            )
+        # longest-first: a later (shorter) replacement can never swallow an
+        # earlier one, so a plain covers-check keeps the antichain intact
+        for replacement in sorted(replacements, key=len, reverse=True):
+            if not replacement:
+                continue
+            if self._index.covers(replacement):
+                continue
+            if protected is not None and protected.covers(replacement):
+                continue
+            self._index.add(replacement)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def covers(self, candidate: Itemset) -> bool:
+        """True if ``candidate`` is a subset of some element."""
+        return self._index.covers(candidate)
+
+    def supersets_of(self, candidate: Itemset) -> List[Itemset]:
+        """All elements containing ``candidate``."""
+        return self._index.supersets_of(candidate)
+
+    def elements_longer_than(self, length: int) -> Set[Itemset]:
+        """Elements with more than ``length`` items."""
+        return {element for element in self._index if len(element) > length}
+
+    def check_invariants(
+        self,
+        frequent: Iterable[Itemset] = (),
+        infrequent: Iterable[Itemset] = (),
+        protected: Iterable[Itemset] = (),
+    ) -> None:
+        """Assert Definition 1 against known classifications (test hook).
+
+        ``protected`` is the current MFS; coverage of frequents is required
+        from the union MFS ∪ MFCS (amendment A4).  Raises AssertionError on
+        violation.
+        """
+        assert is_antichain(self._index.members), "MFCS is not an antichain"
+        protected_cover = CoverIndex(protected)
+        for itemset_ in frequent:
+            assert self._index.covers(itemset_) or protected_cover.covers(
+                itemset_
+            ), "frequent %r not covered by MFS ∪ MFCS" % (itemset_,)
+        for itemset_ in infrequent:
+            assert not self._index.covers(itemset_), (
+                "infrequent %r still covered by MFCS" % (itemset_,)
+            )

@@ -1,0 +1,415 @@
+"""The Pincer-Search algorithm (paper Section 3.5).
+
+Pincer-Search runs the Apriori-style bottom-up breadth-first search while
+simultaneously maintaining the MFCS top-down.  Each pass reads the database
+once, counting both the bottom-up candidates ``C_k`` and the unclassified
+MFCS elements.  MFCS elements found frequent are maximal frequent itemsets
+(their supersets were excluded by earlier infrequent discoveries) and move
+to the MFS; their subsets disappear from the bottom-up search
+(Observation 2).  Infrequent itemsets found bottom-up split the MFCS via
+MFCS-gen (Observation 1), letting the top-down front descend many levels
+per pass.
+
+The implementation follows the paper's pseudocode with the documented
+amendments (DESIGN.md):
+
+* **A1** — the loop continues while the MFCS still holds *unclassified*
+  elements, even when ``C_k`` is empty; the paper's ``C_k ≠ ∅`` guard can
+  terminate with maximal frequent itemsets still uncounted inside MFCS.
+* **A2** — MFCS elements counted infrequent are fed back into MFCS-gen
+  (they are classified-infrequent itemsets, and Definition 1 forbids the
+  MFCS from keeping them covered).  A1+A2 also make the top-down half a
+  complete maximal-itemset miner on its own, which guarantees overall
+  completeness even in corner cases where the join+recovery bottom-up
+  chain stalls (see the A6 discussion in DESIGN.md).
+* **A3/A4/A6** — see :mod:`repro.core.candidates` and
+  :mod:`repro.core.mfcs`.
+
+Adaptivity (Section 3.5): a pluggable
+:class:`~repro.core.adaptive.AdaptivePolicy` may abandon the MFCS mid-run;
+the algorithm then completes the remaining levels bottom-up.  To stay
+complete — and to keep the Observation-2 savings — the frequent
+``k``-itemsets that had been pruned as subsets of discovered maximal
+itemsets are *virtually* restored for candidate generation: they rejoin
+the Apriori join as known-frequent itemsets and are never re-counted.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..db.counting import SupportCounter, get_counter
+from ..db.transaction_db import TransactionDatabase
+from .adaptive import AdaptivePolicy, AlwaysMaintain
+from .candidates import apriori_join, first_level_candidates, generate_candidates
+from .cover import CoverIndex
+from .itemset import Itemset
+from .lattice import maximal_elements
+from .mfcs import MFCS
+from .result import MiningResult
+from .stats import MiningStats, PassStats
+
+
+class PincerSearch:
+    """Configurable Pincer-Search miner.
+
+    Parameters
+    ----------
+    engine:
+        Counting-engine name (see :func:`repro.db.counting.get_counter`).
+    adaptive:
+        When True (the paper's evaluated configuration) an
+        :class:`AdaptivePolicy` may abandon the MFCS; when False the pure
+        algorithm maintains it to the end.
+    policy:
+        Explicit policy instance, overriding ``adaptive``.  Policies are
+        stateful, so give each :meth:`mine` call a fresh one.
+    prune_uncovered:
+        Extension beyond the paper: additionally drop bottom-up candidates
+        not covered by MFS ∪ MFCS.  Such candidates are provably
+        infrequent (the MFCS cover includes every frequent itemset at all
+        times), so this never changes the result — only the candidate
+        counts.  Off by default for paper fidelity.
+    """
+
+    def __init__(
+        self,
+        engine: str = "bitmap",
+        adaptive: bool = True,
+        policy: Optional[AdaptivePolicy] = None,
+        prune_uncovered: bool = False,
+    ) -> None:
+        self._engine = engine
+        self._adaptive = adaptive
+        self._policy_prototype = policy
+        self._prune_uncovered = prune_uncovered
+
+    @property
+    def name(self) -> str:
+        return "pincer-search" if self._adaptive else "pincer-search-pure"
+
+    @property
+    def prune_uncovered(self) -> bool:
+        return self._prune_uncovered
+
+    def _make_policy(self) -> AdaptivePolicy:
+        if self._policy_prototype is not None:
+            return self._policy_prototype
+        return AdaptivePolicy() if self._adaptive else AlwaysMaintain()
+
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        db: TransactionDatabase,
+        min_support: Optional[float] = None,
+        *,
+        min_count: Optional[int] = None,
+        counter: Optional[SupportCounter] = None,
+    ) -> MiningResult:
+        """Discover the maximum frequent set of ``db``.
+
+        Exactly one of ``min_support`` (fraction of ``|D|``) and
+        ``min_count`` (absolute transactions) must be given.
+        """
+        threshold, fraction = resolve_threshold(db, min_support, min_count)
+        engine = counter if counter is not None else get_counter(self._engine)
+        policy = self._make_policy()
+        started = time.perf_counter()
+
+        stats = MiningStats(algorithm=self.name)
+        supports: Dict[Itemset, int] = {}
+        mfs: Set[Itemset] = set()
+        mfs_cover = CoverIndex()
+        mfcs = MFCS.for_universe(db.universe)
+        maintaining = policy.keep_mfcs(0, len(mfcs), 0, 0)
+        candidates: List[Itemset] = first_level_candidates(db.universe)
+        # every itemset known frequent, counted or virtual (MFS-implied)
+        frequents_seen: Set[Itemset] = set()
+        longest_maximal = 0
+        k = 0
+
+        while maintaining and (candidates or len(mfcs) > 0):
+            k += 1
+            if k > 2 * db.num_items + 4:
+                # bottom-up needs ≤ n levels; the pure top-down descent of
+                # A1/A2 at most n more (one level per free pass)
+                raise AssertionError("pincer-search failed to terminate")
+            pass_stats = PassStats(pass_number=k)
+            pass_started = time.perf_counter()
+
+            # ----- one database read: C_k plus unclassified MFCS elements
+            mfcs_elements = sorted(mfcs)
+            uncounted_candidates = [c for c in candidates if c not in supports]
+            batch = dict.fromkeys(uncounted_candidates)
+            for element in mfcs_elements:
+                if element not in supports:
+                    batch[element] = None
+            supports.update(engine.count(db, batch))
+            pass_stats.bottom_up_candidates = len(uncounted_candidates)
+            # MFCS elements counted this pass (an element that doubles as a
+            # bottom-up candidate is billed once, as the bottom-up side)
+            pass_stats.mfcs_candidates = len(batch) - len(uncounted_candidates)
+
+            # ----- classify the MFCS elements (paper line 7 + amendment A2)
+            infrequent_mfcs: List[Itemset] = []
+            for element in mfcs_elements:
+                if supports[element] >= threshold:
+                    mfs.add(element)
+                    mfs_cover.add(element)
+                    mfcs.remove(element)
+                    pass_stats.maximal_found += 1
+                    longest_maximal = max(longest_maximal, len(element))
+                else:
+                    infrequent_mfcs.append(element)
+
+            # ----- classify the bottom-up candidates (paper lines 8-9)
+            frequent_in_ck = [c for c in candidates if supports[c] >= threshold]
+            infrequent_in_ck = [c for c in candidates if supports[c] < threshold]
+            level_frequents = [
+                c for c in frequent_in_ck if not mfs_cover.covers(c)
+            ]
+            pass_stats.frequent_found = len(frequent_in_ck)
+            pass_stats.infrequent_found = len(infrequent_in_ck)
+            pass_stats.pruned_as_mfs_subsets = len(frequent_in_ck) - len(
+                level_frequents
+            )
+            frequents_seen.update(level_frequents)
+
+            # ----- pre-update adaptivity (Section 3.5's "many 2-itemsets,
+            # few frequent" cue): a hopeless pass-2 ratio abandons the
+            # MFCS before the expensive MFCS-gen update even starts
+            maintaining = policy.keep_after_classification(
+                k, len(frequent_in_ck), len(candidates), longest_maximal
+            )
+            if not maintaining:
+                pass_stats.mfcs_size_after = 0
+                pass_stats.seconds = time.perf_counter() - pass_started
+                if pass_stats.total_candidates:
+                    stats.passes.append(pass_stats)
+                break
+
+            # ----- update MFCS (paper line 14, with A2/A4)
+            if longest_maximal > policy.abandon_length_cap:
+                # abandonment is off the table (see AdaptivePolicy docs),
+                # so a mid-update cap abort must not fire either
+                size_cap = work_cap = None
+            else:
+                size_cap = policy.update_size_cap
+                work_cap = policy.update_work_cap
+            completed = mfcs.update(
+                infrequent_in_ck,
+                protected=mfs_cover,
+                size_cap=size_cap,
+                work_cap=work_cap,
+            )
+            if completed:
+                completed = mfcs.update(
+                    infrequent_mfcs,
+                    protected=mfs_cover,
+                    size_cap=size_cap,
+                    work_cap=work_cap,
+                )
+            if not completed:
+                # mid-update size blow-up (scattered distributions): the
+                # MFCS contents are no longer meaningful
+                policy.abandon()
+                maintaining = False
+            pass_stats.mfcs_size_after = len(mfcs) if maintaining else 0
+
+            # ----- candidate generation + adaptivity (paper lines 10-13, §3.5)
+            if maintaining:
+                next_candidates = generate_candidates(
+                    level_frequents, mfs_cover, k
+                )
+                if mfs:
+                    pass_stats.recovered_candidates = _count_recovered(
+                        level_frequents, next_candidates
+                    )
+                if self._prune_uncovered:
+                    next_candidates = {
+                        c
+                        for c in next_candidates
+                        if mfcs.covers(c) or mfs_cover.covers(c)
+                    }
+                maintaining = policy.keep_mfcs(
+                    k,
+                    len(mfcs),
+                    len(next_candidates),
+                    pass_stats.maximal_found,
+                    longest_maximal,
+                )
+                candidates = sorted(next_candidates)
+
+            pass_stats.seconds = time.perf_counter() - pass_started
+            if pass_stats.total_candidates:
+                stats.passes.append(pass_stats)
+
+        if not maintaining:
+            # The MFCS was abandoned (Section 3.5's adaptive fallback) or
+            # never maintained: finish bottom-up with an Apriori sweep
+            # over the not-yet-covered region.  If no maximal itemset was
+            # discovered before abandonment, no pruning ever removed a
+            # frequent itemset and the levels classified so far are
+            # complete — the sweep resumes right at the current level.
+            # Otherwise it rebuilds every level from the bottom, because
+            # the maintained phase's candidate generation only guarantees
+            # completeness jointly with the MFCS (the recovery procedure
+            # misses candidates both of whose join parents are subsets of
+            # two *different* MFS members — see DESIGN.md A6).  Either
+            # way, already-counted itemsets and subsets of discovered
+            # maximal itemsets are classified from cache, so only
+            # genuinely unknown itemsets reach the engine.
+            start_level = k if not mfs else None
+            self._complete_bottom_up(
+                db, engine, supports, threshold, mfs_cover, frequents_seen,
+                stats, k, start_level,
+            )
+
+        final_mfs = maximal_elements(mfs | frequents_seen)
+        stats.seconds = time.perf_counter() - started
+        stats.records_read = engine.records_read
+        return MiningResult(
+            mfs=frozenset(final_mfs),
+            supports=supports,
+            num_transactions=len(db),
+            min_support_count=threshold,
+            min_support=fraction,
+            algorithm=self.name,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _complete_bottom_up(
+        db: TransactionDatabase,
+        engine: SupportCounter,
+        supports: Dict[Itemset, int],
+        threshold: int,
+        mfs_cover: CoverIndex,
+        frequents_seen: Set[Itemset],
+        stats: MiningStats,
+        pass_number: int,
+        start_level: Optional[int] = None,
+    ) -> None:
+        """Apriori with a frequency oracle — the post-abandonment sweep.
+
+        Classic levelwise search in which a candidate is classified
+        without touching the database when (a) its support is already
+        cached from the maintained phase, or (b) it is a subset of a
+        discovered maximal frequent itemset (Observation 2).  Only the
+        remaining unknowns are counted, one pass per level that has any.
+        Every frequent itemset encountered lands in ``frequents_seen``,
+        from which the caller's final ``maximal_elements`` derives the
+        MFS.
+
+        ``start_level`` resumes from an already-complete level (valid
+        only when the maintained phase never pruned a frequent itemset,
+        i.e. the MFS was still empty at abandonment); None rebuilds from
+        level 1.
+        """
+        if start_level is not None and start_level >= 1:
+            current = sorted(
+                f for f in frequents_seen if len(f) == start_level
+            )
+            level = start_level
+        else:
+            current = []
+            level = 0
+        while True:
+            level += 1
+            if level == 1:
+                candidates = first_level_candidates(db.universe)
+            else:
+                joined = apriori_join(current)
+                current_set = set(current)
+                candidates = sorted(
+                    c
+                    for c in joined
+                    if all(
+                        s in current_set for s in combinations(c, level - 1)
+                    )
+                )
+            if not candidates:
+                break
+            frequent: List[Itemset] = []
+            unknown: List[Itemset] = []
+            for candidate in candidates:
+                count = supports.get(candidate)
+                if count is not None:
+                    if count >= threshold:
+                        frequent.append(candidate)
+                elif mfs_cover.covers(candidate):
+                    frequent.append(candidate)  # known frequent, uncounted
+                else:
+                    unknown.append(candidate)
+            if unknown:
+                pass_number += 1
+                pass_stats = stats.new_pass(pass_number)
+                pass_started = time.perf_counter()
+                supports.update(engine.count(db, unknown))
+                pass_stats.bottom_up_candidates = len(unknown)
+                newly_frequent = [
+                    c for c in unknown if supports[c] >= threshold
+                ]
+                pass_stats.frequent_found = len(newly_frequent)
+                pass_stats.infrequent_found = len(unknown) - len(newly_frequent)
+                pass_stats.seconds = time.perf_counter() - pass_started
+                frequent.extend(newly_frequent)
+            current = sorted(frequent)
+            frequents_seen.update(current)
+            if not current:
+                break
+
+
+def _count_recovered(
+    level_frequents: List[Itemset], next_candidates: Set[Itemset]
+) -> int:
+    """How many surviving candidates the plain join alone missed."""
+    plain = apriori_join(level_frequents)
+    return sum(1 for candidate in next_candidates if candidate not in plain)
+
+
+def resolve_threshold(
+    db: TransactionDatabase,
+    min_support: Optional[float],
+    min_count: Optional[int],
+) -> Tuple[int, float]:
+    """Normalise the (fractional, absolute) support threshold pair."""
+    if (min_support is None) == (min_count is None):
+        raise ValueError("give exactly one of min_support and min_count")
+    if min_count is not None:
+        if min_count < 1:
+            raise ValueError("min_count must be at least 1")
+        fraction = min_count / len(db) if len(db) else 1.0
+        return min_count, fraction
+    return db.absolute_support(min_support), float(min_support)
+
+
+def pincer_search(
+    db: TransactionDatabase,
+    min_support: Optional[float] = None,
+    *,
+    min_count: Optional[int] = None,
+    engine: str = "bitmap",
+    adaptive: bool = True,
+    policy: Optional[AdaptivePolicy] = None,
+    prune_uncovered: bool = False,
+) -> MiningResult:
+    """Functional one-shot entry point; see :class:`PincerSearch`.
+
+    >>> from repro.db.transaction_db import TransactionDatabase
+    >>> db = TransactionDatabase([[1, 2, 3], [1, 2, 3], [1, 2], [3]])
+    >>> sorted(pincer_search(db, 0.5).mfs)
+    [(1, 2, 3)]
+    """
+    miner = PincerSearch(
+        engine=engine,
+        adaptive=adaptive,
+        policy=policy,
+        prune_uncovered=prune_uncovered,
+    )
+    return miner.mine(db, min_support, min_count=min_count)

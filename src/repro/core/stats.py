@@ -1,0 +1,110 @@
+"""Per-pass and per-run mining statistics.
+
+The paper's Figures 3 and 4 report three quantities per (database,
+minimum-support) cell: execution time, number of candidates, and number of
+passes.  The stats objects here capture exactly those, with the paper's
+accounting conventions:
+
+* a *pass* is one read of the database (one call into the counting engine
+  with a non-empty batch);
+* the *candidate count* of a pass is the number of itemsets whose support
+  was counted in it — for Pincer-Search this "includes the candidates in
+  MFCS" (Section 4.1.1);
+* the headline candidate total "does not include the candidates in the
+  first two passes" (Section 4.1.1), exposed as
+  :meth:`MiningStats.candidates_after_pass2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class PassStats:
+    """What happened in a single pass of the bottom-up loop."""
+
+    pass_number: int
+    #: bottom-up candidates counted this pass (|C_k| minus cache hits)
+    bottom_up_candidates: int = 0
+    #: MFCS elements counted this pass (0 for Apriori)
+    mfcs_candidates: int = 0
+    #: itemsets classified frequent among the bottom-up candidates
+    frequent_found: int = 0
+    #: itemsets classified infrequent among the bottom-up candidates
+    infrequent_found: int = 0
+    #: maximal frequent itemsets discovered in MFCS this pass
+    maximal_found: int = 0
+    #: frequent itemsets dropped from L_k as subsets of MFS (Observation 2)
+    pruned_as_mfs_subsets: int = 0
+    #: |MFCS| after the update at the end of the pass
+    mfcs_size_after: int = 0
+    #: candidates restored by the recovery procedure into C_{k+1}
+    recovered_candidates: int = 0
+    #: wall-clock seconds spent in this pass
+    seconds: float = 0.0
+
+    @property
+    def total_candidates(self) -> int:
+        """All itemsets counted this pass (paper's per-pass candidate count)."""
+        return self.bottom_up_candidates + self.mfcs_candidates
+
+
+@dataclass
+class MiningStats:
+    """Accumulated statistics of one mining run."""
+
+    algorithm: str = ""
+    passes: List[PassStats] = field(default_factory=list)
+    seconds: float = 0.0
+    records_read: int = 0
+
+    def new_pass(self, pass_number: int) -> PassStats:
+        """Open stats for the next pass and return them for filling in."""
+        stats = PassStats(pass_number=pass_number)
+        self.passes.append(stats)
+        return stats
+
+    @property
+    def num_passes(self) -> int:
+        """Number of database reads (the figures' "passes" panel)."""
+        return len(self.passes)
+
+    @property
+    def total_candidates(self) -> int:
+        """All counted itemsets across all passes."""
+        return sum(stats.total_candidates for stats in self.passes)
+
+    @property
+    def candidates_after_pass2(self) -> int:
+        """Counted itemsets excluding passes 1 and 2 (paper's convention).
+
+        For Pincer-Search the MFCS candidates of passes 1 and 2 are also
+        excluded, mirroring "the number of candidates shown in the figures
+        does not include the candidates in the first two passes" while the
+        later passes "include the candidates in MFCS".
+        """
+        return sum(
+            stats.total_candidates
+            for stats in self.passes
+            if stats.pass_number > 2
+        )
+
+    @property
+    def total_maximal_found_in_mfcs(self) -> int:
+        """How many MFS members were discovered top-down (0 for Apriori)."""
+        return sum(stats.maximal_found for stats in self.passes)
+
+    def summary(self) -> str:
+        """One-line human-readable digest used by the CLI."""
+        return (
+            "%s: %d passes, %d candidates (%d after pass 2), %.3fs"
+            % (
+                self.algorithm or "run",
+                self.num_passes,
+                self.total_candidates,
+                self.candidates_after_pass2,
+                self.seconds,
+            )
+        )

@@ -1,0 +1,173 @@
+"""Version spaces over itemset concepts (the paper's Section 5 framing).
+
+"Our work was inspired by the notion of version space in Mitchell's
+machine learning paper [8].  We found that if we treat a newly discovered
+frequent itemset as a new positive training instance, a newly discovered
+infrequent itemset as a new negative training instance, the candidate set
+as the maximally specific generalization (S), and the MFCS as the
+maximally general generalization (G), then we will be able to use a
+two-way approaching strategy to discover the maximum frequent set."
+
+This module makes that correspondence executable.  The hypothesis space
+is the family of downward-closed itemset collections over a universe,
+each represented by its positive border; a hypothesis *covers* an itemset
+iff the itemset lies under the border.  Training instances are
+classified itemsets:
+
+* a positive instance (a frequent itemset) forces every consistent
+  hypothesis to cover it — it can only *generalise* the S boundary;
+* a negative instance (an infrequent itemset) forbids coverage — it can
+  only *specialise* the G boundary.
+
+``S`` is maintained as the maximal positive instances seen (the least
+general consistent hypothesis); ``G`` is maintained with exactly the
+MFCS-gen splitting rule (the most general consistent hypothesis).  The
+version space has *converged* when S's closure equals G's — which for
+Pincer-Search is the moment MFCS = MFS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from .cover import CoverIndex
+from .itemset import Itemset, is_subset
+from .lattice import downward_closure
+from .mfcs import MFCS
+
+
+class InconsistentInstance(ValueError):
+    """A training instance contradicts the earlier ones.
+
+    For anti-monotone concepts this means a negative instance under a
+    positive one (or vice versa) — the analogue of noisy labels
+    collapsing a classic version space.
+    """
+
+
+class VersionSpace:
+    """S/G boundary-set learner for downward-closed itemset concepts."""
+
+    def __init__(self, universe: Iterable[int]) -> None:
+        self._universe = tuple(sorted(set(universe)))
+        self._specific: Set[Itemset] = set()      # maximal positives: S
+        self._specific_cover = CoverIndex()
+        self._general = MFCS.for_universe(self._universe)  # G
+        self._negatives: List[Itemset] = []
+
+    # ------------------------------------------------------------------
+    # boundaries
+    # ------------------------------------------------------------------
+
+    @property
+    def universe(self) -> Itemset:
+        return self._universe
+
+    @property
+    def specific_boundary(self) -> Set[Itemset]:
+        """S: the positive border of the instances seen so far."""
+        return set(self._specific)
+
+    @property
+    def general_boundary(self) -> Set[Itemset]:
+        """G: the most general consistent hypothesis (an MFCS)."""
+        return self._general.elements
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+
+    def add_positive(self, instance: Itemset) -> None:
+        """A frequent itemset: S generalises to cover it."""
+        if not self._general.covers(instance):
+            raise InconsistentInstance(
+                "positive instance %r lies outside the general boundary "
+                "(it is a superset of an earlier negative)" % (instance,)
+            )
+        if self._specific_cover.covers(instance):
+            return  # already entailed by S
+        for member in list(self._specific):
+            if is_subset(member, instance):
+                self._specific.discard(member)
+                self._specific_cover.discard(member)
+        self._specific.add(instance)
+        self._specific_cover.add(instance)
+
+    def add_negative(self, instance: Itemset) -> None:
+        """An infrequent itemset: G specialises to exclude it."""
+        if self._specific_cover.covers(instance):
+            raise InconsistentInstance(
+                "negative instance %r is covered by the specific boundary "
+                "(it is a subset of an earlier positive)" % (instance,)
+            )
+        self._negatives.append(instance)
+        self._general.exclude(instance)
+
+    def observe(self, instance: Itemset, is_positive: bool) -> None:
+        """Route one labelled instance to the matching boundary update."""
+        if is_positive:
+            self.add_positive(instance)
+        else:
+            self.add_negative(instance)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def classifies_positive(self, itemset_: Itemset) -> bool:
+        """Entailed positive: under S in *every* consistent hypothesis."""
+        return self._specific_cover.covers(itemset_)
+
+    def classifies_negative(self, itemset_: Itemset) -> bool:
+        """Entailed negative: outside G in every consistent hypothesis."""
+        return not self._general.covers(itemset_)
+
+    def is_ambiguous(self, itemset_: Itemset) -> bool:
+        """Neither entailed: hypotheses disagree — more training needed.
+
+        These are exactly the itemsets Pincer-Search still has to count.
+        """
+        return not self.classifies_positive(itemset_) and not (
+            self.classifies_negative(itemset_)
+        )
+
+    def has_converged(self) -> bool:
+        """True when S and G describe the same concept (MFCS = MFS).
+
+        Compared via downward closures, so it is exponential in boundary
+        member length — a diagnostic for the small universes this module
+        targets, not a hot-path predicate.
+        """
+        return downward_closure(self._specific) == downward_closure(
+            self._general.elements
+        )
+
+    def ambiguous_region(self) -> Set[Itemset]:
+        """All itemsets on which consistent hypotheses disagree."""
+        general_closure = downward_closure(self._general.elements)
+        specific_closure = downward_closure(self._specific)
+        return general_closure - specific_closure
+
+    def __repr__(self) -> str:
+        return "VersionSpace(|S|=%d, |G|=%d, universe=%d items)" % (
+            len(self._specific), len(self._general), len(self._universe),
+        )
+
+
+def replay_mining_run(
+    universe: Iterable[int],
+    classified: Iterable["tuple[Itemset, bool]"],
+) -> VersionSpace:
+    """Feed a mining run's classifications through a version space.
+
+    ``classified`` yields ``(itemset, is_frequent)`` pairs in discovery
+    order — e.g. the support cache of a finished
+    :class:`~repro.core.result.MiningResult` against its threshold.  The
+    returned space's G boundary is the MFCS the run would hold after
+    those discoveries; if the run was complete, the space has converged
+    and both boundaries describe the MFS.
+    """
+    space = VersionSpace(universe)
+    for itemset_, is_positive in classified:
+        space.observe(itemset_, is_positive)
+    return space

@@ -1,0 +1,24 @@
+"""Synthetic data generation (IBM Quest reimplementation) and named configs."""
+
+from .configs import (
+    CONCENTRATED,
+    CONCENTRATED_SUPPORTS,
+    SCATTERED,
+    SCATTERED_SUPPORTS,
+    parse_name,
+    scaled,
+)
+from .quest import Pattern, QuestConfig, QuestGenerator, generate
+
+__all__ = [
+    "CONCENTRATED",
+    "CONCENTRATED_SUPPORTS",
+    "SCATTERED",
+    "SCATTERED_SUPPORTS",
+    "Pattern",
+    "QuestConfig",
+    "QuestGenerator",
+    "generate",
+    "parse_name",
+    "scaled",
+]

@@ -1,0 +1,76 @@
+"""Named generator configurations used by the paper's evaluation.
+
+The paper's Figure 3 (scattered distributions) uses ``|L| = 2000`` and
+Figure 4 (concentrated distributions) uses ``|L| = 50``; both keep
+``N = 1000`` items and ``|D| = 100K`` transactions.  The helpers here parse
+the conventional ``T<x>.I<y>.D<z>K`` names and produce scaled-down variants
+(`scaled`) so the same experiments run at laptop-friendly sizes — support
+thresholds are fractions, so scaling ``|D|`` preserves the distributional
+shape (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from .quest import QuestConfig
+
+_NAME_PATTERN = re.compile(
+    r"^T(?P<t>\d+(?:\.\d+)?)\.I(?P<i>\d+(?:\.\d+)?)\.D(?P<d>\d+)(?P<k>K?)$",
+    re.IGNORECASE,
+)
+
+
+def parse_name(name: str, num_patterns: int = 2000, num_items: int = 1000,
+               seed: int = 0) -> QuestConfig:
+    """Parse ``T10.I4.D100K`` into a :class:`QuestConfig`.
+
+    >>> config = parse_name("T10.I4.D100K")
+    >>> (config.avg_transaction_size, config.avg_pattern_size, config.num_transactions)
+    (10.0, 4.0, 100000)
+    """
+    match = _NAME_PATTERN.match(name.strip())
+    if match is None:
+        raise ValueError("not a T<x>.I<y>.D<z>[K] database name: %r" % name)
+    transactions = int(match.group("d")) * (1000 if match.group("k") else 1)
+    return QuestConfig(
+        num_transactions=transactions,
+        avg_transaction_size=float(match.group("t")),
+        avg_pattern_size=float(match.group("i")),
+        num_patterns=num_patterns,
+        num_items=num_items,
+        seed=seed,
+    )
+
+
+def scaled(config: QuestConfig, num_transactions: int) -> QuestConfig:
+    """The same workload at a different ``|D|`` (all else unchanged)."""
+    return replace(config, num_transactions=num_transactions)
+
+
+#: Figure 3 databases: scattered distributions, |L| = 2000.
+SCATTERED: Dict[str, QuestConfig] = {
+    name: parse_name(name, num_patterns=2000)
+    for name in ("T5.I2.D100K", "T10.I4.D100K", "T20.I6.D100K")
+}
+
+#: Figure 4 databases: concentrated distributions, |L| = 50.
+CONCENTRATED: Dict[str, QuestConfig] = {
+    name: parse_name(name, num_patterns=50)
+    for name in ("T20.I6.D100K", "T20.I10.D100K", "T20.I15.D100K")
+}
+
+#: Minimum-support sweeps (percent) per figure panel, following Section 4.2.
+SCATTERED_SUPPORTS: Dict[str, Tuple[float, ...]] = {
+    "T5.I2.D100K": (0.75, 0.5, 0.33, 0.25),
+    "T10.I4.D100K": (1.5, 1.0, 0.75, 0.5),
+    "T20.I6.D100K": (1.0, 0.75, 0.5, 0.33),
+}
+
+CONCENTRATED_SUPPORTS: Dict[str, Tuple[float, ...]] = {
+    "T20.I6.D100K": (18.0, 15.0, 12.0, 11.0),
+    "T20.I10.D100K": (12.0, 9.0, 6.0),
+    "T20.I15.D100K": (9.0, 8.0, 7.0, 6.0),
+}

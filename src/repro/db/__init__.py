@@ -1,0 +1,42 @@
+"""Transaction-database substrate: storage, I/O, and support counting."""
+
+from .counting import (
+    BitmapCounter,
+    HashTreeCounter,
+    NaiveCounter,
+    SupportCounter,
+    TrieCounter,
+    available_engines,
+    count_pairs,
+    count_singletons,
+    get_counter,
+)
+from .disk import DiskTransactionDatabase
+from .hash_tree import HashTree
+from .io import load, load_basket, load_csv, load_json, save, save_basket, save_csv, save_json
+from .transaction_db import TransactionDatabase
+from .trie import CandidateTrie
+
+__all__ = [
+    "BitmapCounter",
+    "CandidateTrie",
+    "DiskTransactionDatabase",
+    "HashTree",
+    "HashTreeCounter",
+    "NaiveCounter",
+    "SupportCounter",
+    "TransactionDatabase",
+    "TrieCounter",
+    "available_engines",
+    "count_pairs",
+    "count_singletons",
+    "get_counter",
+    "load",
+    "load_basket",
+    "load_csv",
+    "load_json",
+    "save",
+    "save_basket",
+    "save_csv",
+    "save_json",
+]

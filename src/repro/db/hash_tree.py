@@ -1,0 +1,180 @@
+"""Classic Apriori hash tree for candidate support counting.
+
+This is the data structure of Agrawal & Srikant (VLDB 1994, Section 2.1.2):
+candidates of a single length ``k`` are stored in a tree whose interior
+nodes hash on one item per level and whose leaves hold small lists of
+candidates.  Counting a transaction walks the tree once, visiting only the
+leaves that could contain subsets of the transaction.
+
+The Pincer paper deliberately used linked lists instead ("we didn't use more
+efficient data structures, such as hash tables, to store the itemsets",
+Section 4.1.1) to keep the Apriori/Pincer comparison about candidate counts
+and passes.  We provide the hash tree anyway: the library's counting engines
+are pluggable, and the ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._types import Itemset
+
+
+class _Node:
+    """One hash-tree node; starts as a leaf, splits into an interior node."""
+
+    __slots__ = ("children", "bucket")
+
+    def __init__(self) -> None:
+        self.children: Optional[Dict[int, "_Node"]] = None
+        self.bucket: List[int] = []  # candidate indices (leaf only)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class HashTree:
+    """A hash tree over candidates that all share one length ``k``.
+
+    Parameters
+    ----------
+    candidates:
+        Canonical itemsets, all of length ``k``.
+    branch:
+        Modulus of the per-level item hash.
+    leaf_capacity:
+        A leaf deeper than the candidate length never splits; otherwise it
+        splits when it exceeds this many candidates.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[Itemset],
+        branch: int = 8,
+        leaf_capacity: int = 16,
+    ) -> None:
+        if branch < 2:
+            raise ValueError("branch factor must be at least 2")
+        if leaf_capacity < 1:
+            raise ValueError("leaf capacity must be positive")
+        lengths = {len(candidate) for candidate in candidates}
+        if len(lengths) > 1:
+            raise ValueError("hash tree requires candidates of a single length")
+        self._k = lengths.pop() if lengths else 0
+        self._branch = branch
+        self._leaf_capacity = leaf_capacity
+        self._candidates: List[Itemset] = list(candidates)
+        self._root = _Node()
+        for index in range(len(self._candidates)):
+            self._insert(index)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    @property
+    def k(self) -> int:
+        """Length of the stored candidates."""
+        return self._k
+
+    # ------------------------------------------------------------------
+
+    def _insert(self, index: int) -> None:
+        candidate = self._candidates[index]
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            node = node.children.setdefault(  # type: ignore[union-attr]
+                candidate[depth] % self._branch, _Node()
+            )
+            depth += 1
+        node.bucket.append(index)
+        if len(node.bucket) > self._leaf_capacity and depth < self._k:
+            self._split(node, depth)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        indices = node.bucket
+        node.bucket = []
+        node.children = {}
+        for index in indices:
+            child = node.children.setdefault(
+                self._candidates[index][depth] % self._branch, _Node()
+            )
+            child.bucket.append(index)
+            # Recursive splits are possible when many candidates share a
+            # hash path; depth+1 == k stops them at the last item.
+            if len(child.bucket) > self._leaf_capacity and depth + 1 < self._k:
+                self._split(child, depth + 1)
+
+    # ------------------------------------------------------------------
+
+    def count_database(self, transactions: Sequence[frozenset]) -> List[int]:
+        """Support counts of all stored candidates over ``transactions``.
+
+        Returns a list parallel to the candidate order given at
+        construction.
+        """
+        counts = [0] * len(self._candidates)
+        if self._k == 0:
+            return counts
+        # last_seen de-duplicates candidates reachable through several hash
+        # paths of the same transaction (two transaction items hashing to
+        # the same bucket would otherwise double-count a leaf candidate).
+        last_seen = [-1] * len(self._candidates)
+        for tid, transaction in enumerate(transactions):
+            if len(transaction) < self._k:
+                continue
+            items = sorted(transaction)
+            self._count_node(self._root, items, 0, transaction, tid, counts, last_seen)
+        return counts
+
+    def _count_node(
+        self,
+        node: _Node,
+        items: List[int],
+        start: int,
+        transaction: frozenset,
+        tid: int,
+        counts: List[int],
+        last_seen: List[int],
+    ) -> None:
+        if node.is_leaf:
+            for index in node.bucket:
+                if last_seen[index] != tid and transaction.issuperset(
+                    self._candidates[index]
+                ):
+                    last_seen[index] = tid
+                    counts[index] += 1
+            return
+        children = node.children
+        assert children is not None
+        for position in range(start, len(items)):
+            child = children.get(items[position] % self._branch)
+            if child is not None:
+                self._count_node(
+                    child, items, position + 1, transaction, tid, counts, last_seen
+                )
+
+    # ------------------------------------------------------------------
+
+    def counts_by_itemset(
+        self, transactions: Sequence[frozenset]
+    ) -> Dict[Itemset, int]:
+        """Like :meth:`count_database` but keyed by itemset."""
+        counts = self.count_database(transactions)
+        return dict(zip(self._candidates, counts))
+
+    def depth_profile(self) -> Tuple[int, int]:
+        """(max depth, number of leaves) — introspection for tests."""
+
+        def walk(node: _Node, depth: int) -> Tuple[int, int]:
+            if node.is_leaf:
+                return depth, 1
+            deepest, leaves = depth, 0
+            for child in node.children.values():  # type: ignore[union-attr]
+                child_depth, child_leaves = walk(child, depth + 1)
+                deepest = max(deepest, child_depth)
+                leaves += child_leaves
+            return deepest, leaves
+
+        return walk(self._root, 0)

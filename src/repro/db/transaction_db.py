@@ -1,0 +1,225 @@
+"""In-memory transaction database.
+
+This is the substrate every miner in the library runs on.  A database is a
+bag of transactions, each a set of integer items (paper Section 2.1).  The
+store is *horizontal* (one row per transaction) because that is what the
+levelwise algorithms scan; a *vertical* bitmap view (one bitmap per item,
+bit ``t`` set iff transaction ``t`` contains the item) is built lazily for
+the bitmap counting engine.
+
+Support thresholds: the paper defines support as a *fraction* of the
+transactions.  :meth:`TransactionDatabase.absolute_support` converts a
+user-facing fraction into the absolute transaction count the counters
+compare against, rounding up so that "support above the threshold" matches
+the usual ``count >= ceil(fraction * |D|)`` convention.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .._types import Itemset
+
+
+class TransactionDatabase:
+    """A set of transactions over an integer item universe.
+
+    Parameters
+    ----------
+    transactions:
+        Any iterable of item iterables.  Each transaction is normalised to a
+        ``frozenset`` of ints; empty transactions are kept (they count toward
+        ``|D|`` but support nothing, matching the benchmark generator which
+        can emit size-0 baskets only if asked to).
+    universe:
+        Optional explicit item universe.  When omitted, the universe is the
+        set of items that occur in at least one transaction.  An explicit
+        universe matters when reproducing the paper's setup where ``N=1000``
+        items exist but only some occur.
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Iterable[int]],
+        universe: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._transactions: List[FrozenSet[int]] = [
+            frozenset(transaction) for transaction in transactions
+        ]
+        if universe is None:
+            occurring: set = set()
+            for transaction in self._transactions:
+                occurring.update(transaction)
+            self._universe: Itemset = tuple(sorted(occurring))
+        else:
+            self._universe = tuple(sorted(set(universe)))
+            for position, transaction in enumerate(self._transactions):
+                if not transaction <= set(self._universe):
+                    raise ValueError(
+                        "transaction %d contains items outside the universe"
+                        % position
+                    )
+        self._bitmaps: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> FrozenSet[int]:
+        return self._transactions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransactionDatabase):
+            return NotImplemented
+        return (
+            self._transactions == other._transactions
+            and self._universe == other._universe
+        )
+
+    def __repr__(self) -> str:
+        return "TransactionDatabase(|D|=%d, |I|=%d)" % (
+            len(self._transactions),
+            len(self._universe),
+        )
+
+    @property
+    def transactions(self) -> Sequence[FrozenSet[int]]:
+        """The transactions, in insertion order."""
+        return self._transactions
+
+    @property
+    def universe(self) -> Itemset:
+        """All items of the database, as a canonical itemset."""
+        return self._universe
+
+    @property
+    def num_items(self) -> int:
+        return len(self._universe)
+
+    def average_transaction_size(self) -> float:
+        """Mean basket length — the generator's ``|T|`` parameter, measured."""
+        if not self._transactions:
+            return 0.0
+        return sum(len(transaction) for transaction in self._transactions) / len(
+            self._transactions
+        )
+
+    # ------------------------------------------------------------------
+    # support
+    # ------------------------------------------------------------------
+
+    def absolute_support(self, fraction: float) -> int:
+        """Convert a fractional minimum support into a transaction count.
+
+        The result is at least 1 so that the empty database edge case and
+        ``fraction=0`` do not declare never-seen itemsets frequent.
+
+        >>> TransactionDatabase([[1], [1], [2]]).absolute_support(0.5)
+        2
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("minimum support must be a fraction in [0, 1]")
+        return max(1, ceil(fraction * len(self._transactions)))
+
+    def support_count(self, candidate: Iterable[int]) -> int:
+        """Absolute support of one itemset, by full scan.
+
+        Convenience for examples and tests; the miners use the engines in
+        :mod:`repro.db.counting` which amortise the scan over a whole
+        candidate set.
+        """
+        wanted = frozenset(candidate)
+        return sum(1 for transaction in self._transactions if wanted <= transaction)
+
+    def support(self, candidate: Iterable[int]) -> float:
+        """Fractional support of one itemset.
+
+        >>> TransactionDatabase([[1, 2], [1], [2]]).support([1])
+        0.6666666666666666
+        """
+        if not self._transactions:
+            return 0.0
+        return self.support_count(candidate) / len(self._transactions)
+
+    def item_support_counts(self) -> Dict[int, int]:
+        """Support count of every universe item (the pass-1 1-D array).
+
+        Items that never occur are reported with count 0.
+        """
+        counts: Dict[int, int] = {item: 0 for item in self._universe}
+        for transaction in self._transactions:
+            for item in transaction:
+                counts[item] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # vertical view
+    # ------------------------------------------------------------------
+
+    def item_bitmaps(self) -> Dict[int, int]:
+        """Vertical bitmaps: item -> int with bit ``t`` set iff ``t`` has it.
+
+        Built once and cached; arbitrary-precision ints make the AND/popcount
+        combination in the bitmap counter a handful of C-level operations.
+        """
+        if self._bitmaps is None:
+            bitmaps = {item: 0 for item in self._universe}
+            for position, transaction in enumerate(self._transactions):
+                bit = 1 << position
+                for item in transaction:
+                    bitmaps[item] |= bit
+            self._bitmaps = bitmaps
+        return self._bitmaps
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_itemset_supports(
+        cls, supported: Dict[Itemset, int]
+    ) -> "TransactionDatabase":
+        """Build a database where each key occurs as a basket ``value`` times.
+
+        Handy for tests that need exact supports:
+
+        >>> db = TransactionDatabase.from_itemset_supports({(1, 2): 2, (3,): 1})
+        >>> len(db)
+        3
+        """
+        transactions: List[Tuple[int, ...]] = []
+        for basket, copies in supported.items():
+            if copies < 0:
+                raise ValueError("negative multiplicity for %r" % (basket,))
+            transactions.extend([tuple(basket)] * copies)
+        return cls(transactions)
+
+    def restricted_to(self, items: Iterable[int]) -> "TransactionDatabase":
+        """Project every transaction onto ``items`` (baskets may become empty).
+
+        Useful for drilling into a discovered maximal itemset.
+        """
+        keep = frozenset(items)
+        return TransactionDatabase(
+            [transaction & keep for transaction in self._transactions],
+            universe=sorted(keep),
+        )
+
+    def sample(self, indices: Iterable[int]) -> "TransactionDatabase":
+        """A new database containing the transactions at ``indices``."""
+        picked = [self._transactions[index] for index in indices]
+        return TransactionDatabase(picked, universe=self._universe)
+
+    def occurring_items(self) -> Itemset:
+        """Items with non-zero support, as a canonical itemset."""
+        seen: set = set()
+        for transaction in self._transactions:
+            seen.update(transaction)
+        return tuple(sorted(seen))

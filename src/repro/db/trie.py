@@ -1,0 +1,94 @@
+"""Prefix-trie candidate store, an alternative counting structure.
+
+Later Apriori implementations (e.g. Borgelt's) replaced the hash tree with
+an item-prefix trie: every candidate corresponds to a unique root-to-node
+path, so counting never needs the de-duplication bookkeeping the hash tree
+does.  Unlike the hash tree, a single trie can hold candidates of *mixed*
+lengths, which suits Pincer-Search's passes where the bottom-up candidates
+(length ``k``) and the MFCS elements (arbitrary length) are counted
+together in one scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .._types import Itemset
+
+
+class _TrieNode:
+    __slots__ = ("children", "candidate_index")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.candidate_index: Optional[int] = None
+
+
+class CandidateTrie:
+    """A trie mapping canonical itemsets to support counters."""
+
+    def __init__(self, candidates: Iterable[Itemset] = ()) -> None:
+        self._root = _TrieNode()
+        self._candidates: List[Itemset] = []
+        self._max_length = 0
+        for candidate in candidates:
+            self.insert(candidate)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __contains__(self, candidate: Itemset) -> bool:
+        node = self._find(candidate)
+        return node is not None and node.candidate_index is not None
+
+    def insert(self, candidate: Itemset) -> None:
+        """Add one canonical itemset; inserting twice is a no-op."""
+        node = self._root
+        for item in candidate:
+            node = node.children.setdefault(item, _TrieNode())
+        if node.candidate_index is None:
+            node.candidate_index = len(self._candidates)
+            self._candidates.append(candidate)
+            self._max_length = max(self._max_length, len(candidate))
+
+    def _find(self, candidate: Itemset) -> Optional[_TrieNode]:
+        node = self._root
+        for item in candidate:
+            child = node.children.get(item)
+            if child is None:
+                return None
+            node = child
+        return node
+
+    # ------------------------------------------------------------------
+
+    def count_database(self, transactions: Sequence[frozenset]) -> List[int]:
+        """Support counts parallel to insertion order."""
+        counts = [0] * len(self._candidates)
+        for transaction in transactions:
+            items = sorted(transaction)
+            self._count(self._root, items, 0, counts)
+        return counts
+
+    def _count(
+        self, node: _TrieNode, items: List[int], start: int, counts: List[int]
+    ) -> None:
+        if node.candidate_index is not None:
+            counts[node.candidate_index] += 1
+        if not node.children:
+            return
+        for position in range(start, len(items)):
+            child = node.children.get(items[position])
+            if child is not None:
+                self._count(child, items, position + 1, counts)
+
+    def counts_by_itemset(
+        self, transactions: Sequence[frozenset]
+    ) -> Dict[Itemset, int]:
+        """Like :meth:`count_database` but keyed by itemset."""
+        counts = self.count_database(transactions)
+        return dict(zip(self._candidates, counts))
+
+    def itemsets(self) -> List[Itemset]:
+        """Stored itemsets in insertion order."""
+        return list(self._candidates)

@@ -1,0 +1,13 @@
+"""Association-rule generation (mining stage 2)."""
+
+from .from_mfs import expand_mfs_supports, mfs_subsets_to_depth, rules_from_mfs
+from .generation import AssociationRule, generate_rules, interesting_rules
+
+__all__ = [
+    "AssociationRule",
+    "expand_mfs_supports",
+    "generate_rules",
+    "interesting_rules",
+    "mfs_subsets_to_depth",
+    "rules_from_mfs",
+]

@@ -1,0 +1,100 @@
+"""Rule generation straight from the maximum frequent set.
+
+Paper, Section 2.1: "an efficient way of generating interesting
+association rules is by examining the maximum frequent set first, and then
+proceeding to their subsets ... while generating rules, all one needs to
+know is the support of the maximal frequent itemsets and of the itemsets
+'a little' shorter.  If the maximum frequent set is known, one can easily
+generate the required subsets and count their supports by reading the
+database once."
+
+This module implements exactly that post-processing: expand the subsets of
+the MFS members down to a chosen depth, count all of them in one database
+pass, and feed the result into the stage-2 generator.  Deepening on demand
+(:func:`rules_from_mfs` with ``depth=None``) keeps expanding until the
+consequent growth of every emitted rule is exhausted or the full closure
+is reached.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core.itemset import Itemset
+from ..core.result import MiningResult
+from ..db.counting import SupportCounter, get_counter
+from ..db.transaction_db import TransactionDatabase
+from .generation import AssociationRule, generate_rules
+
+
+def mfs_subsets_to_depth(
+    mfs: Iterable[Itemset], depth: int
+) -> Set[Itemset]:
+    """All subsets of MFS members whose length is within ``depth`` of them.
+
+    ``depth=0`` is the MFS itself; ``depth=1`` adds the immediate subsets;
+    and so on.  Subsets shared by several members appear once.
+
+    >>> sorted(mfs_subsets_to_depth([(1, 2, 3)], 1))
+    [(1, 2), (1, 2, 3), (1, 3), (2, 3)]
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    wanted: Set[Itemset] = set()
+    for member in mfs:
+        low = max(1, len(member) - depth)
+        for size in range(low, len(member) + 1):
+            wanted.update(combinations(member, size))
+    return wanted
+
+
+def expand_mfs_supports(
+    db: TransactionDatabase,
+    result: MiningResult,
+    depth: int,
+    counter: Optional[SupportCounter] = None,
+    engine: str = "bitmap",
+) -> Dict[Itemset, int]:
+    """Supports of all MFS subsets down to ``depth``, in one extra pass.
+
+    Re-uses every support the mining run already counted; only the missing
+    subsets hit the database.  Returns a combined support table (the
+    mining run's counts plus the new ones).
+    """
+    engine_obj = counter if counter is not None else get_counter(engine)
+    wanted = mfs_subsets_to_depth(result.mfs, depth)
+    missing = sorted(wanted - set(result.supports))
+    counted = engine_obj.count(db, missing)
+    combined = dict(result.supports)
+    combined.update(counted)
+    return combined
+
+
+def rules_from_mfs(
+    db: TransactionDatabase,
+    result: MiningResult,
+    min_confidence: float,
+    depth: Optional[int] = 2,
+    engine: str = "bitmap",
+) -> List[AssociationRule]:
+    """Stage-2 rules using the MFS-first strategy of the paper.
+
+    ``depth`` bounds how far below the maximal itemsets the rule search
+    reaches: rules are generated from all frequent itemsets within
+    ``depth - 1`` of an MFS member, with antecedent supports available one
+    level deeper.  ``depth=None`` expands the entire closure (exponential
+    in the longest member — only for short MFS members).
+    """
+    if depth is None:
+        depth = max((len(member) for member in result.mfs), default=0)
+    supports = expand_mfs_supports(db, result, depth, engine=engine)
+    # Rules whose antecedent support is unknown (one level below the
+    # expansion horizon) are skipped inside generate_rules; deepen `depth`
+    # to reach them.
+    return generate_rules(
+        supports,
+        num_transactions=result.num_transactions,
+        min_confidence=min_confidence,
+        min_support_count=result.min_support_count,
+    )

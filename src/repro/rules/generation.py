@@ -1,0 +1,174 @@
+"""Association-rule generation from frequent itemsets (mining stage 2).
+
+The paper's Section 2.1: "The normally followed scheme for mining
+association rules consists of two stages: 1. the discovery of frequent
+itemsets, followed by 2. the generation of association rules."  This
+module is stage 2 in its classic Agrawal–Srikant form; the MFS-first
+variant the paper advocates lives in :mod:`repro.rules.from_mfs`.
+
+A rule ``X -> Y`` (X, Y non-empty, disjoint) has support
+``support(X ∪ Y)`` and confidence ``support(X ∪ Y) / support(X)``.  Rule
+generation exploits the anti-monotonicity of confidence in the consequent:
+if ``Z \\ H -> H`` fails the confidence threshold, so does ``Z \\ H' -> H'``
+for every ``H' ⊇ H``, which is what lets consequents be grown levelwise
+(the *ap-genrules* scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..core.candidates import apriori_join
+from ..core.itemset import Itemset, difference, format_itemset
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One association rule with its quality measures.
+
+    ``support`` and ``confidence`` are fractions; ``lift`` is present only
+    when the consequent's own support was known at generation time.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.antecedent or not self.consequent:
+            raise ValueError("antecedent and consequent must be non-empty")
+        if set(self.antecedent) & set(self.consequent):
+            raise ValueError("antecedent and consequent must be disjoint")
+
+    @property
+    def itemset(self) -> Itemset:
+        """The underlying frequent itemset ``X ∪ Y``."""
+        return tuple(sorted(self.antecedent + self.consequent))
+
+    def __str__(self) -> str:
+        return "%s -> %s  (sup=%.4f, conf=%.4f)" % (
+            format_itemset(self.antecedent),
+            format_itemset(self.consequent),
+            self.support,
+            self.confidence,
+        )
+
+
+def generate_rules(
+    supports: Dict[Itemset, int],
+    num_transactions: int,
+    min_confidence: float,
+    min_support_count: int = 1,
+) -> List[AssociationRule]:
+    """All confident rules derivable from the supplied supports.
+
+    ``supports`` maps itemsets to absolute supports; rules are generated
+    from every itemset of length ≥ 2 meeting ``min_support_count``, and a
+    rule is emitted only when the support of its antecedent is also known
+    (always the case for supports produced by Apriori, or by
+    :func:`repro.rules.from_mfs.expand_mfs_supports` with enough depth).
+
+    >>> sup = {(1,): 4, (2,): 3, (1, 2): 3}
+    >>> [str(r) for r in generate_rules(sup, 4, 0.9)]
+    ['{2} -> {1}  (sup=0.7500, conf=1.0000)']
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must be a fraction in [0, 1]")
+    if num_transactions <= 0:
+        raise ValueError("num_transactions must be positive")
+    rules: List[AssociationRule] = []
+    frequent = [
+        itemset_
+        for itemset_, count in supports.items()
+        if len(itemset_) >= 2 and count >= min_support_count
+    ]
+    for itemset_ in sorted(frequent, key=lambda member: (len(member), member)):
+        rules.extend(
+            _rules_for_itemset(
+                itemset_, supports, num_transactions, min_confidence
+            )
+        )
+    return rules
+
+
+def _rules_for_itemset(
+    itemset_: Itemset,
+    supports: Dict[Itemset, int],
+    num_transactions: int,
+    min_confidence: float,
+) -> List[AssociationRule]:
+    """ap-genrules over one frequent itemset, growing consequents levelwise."""
+    itemset_count = supports[itemset_]
+    rules: List[AssociationRule] = []
+    # level 1: single-item consequents
+    consequents: List[Itemset] = []
+    for item in itemset_:
+        rule = _try_rule(
+            itemset_, (item,), itemset_count, supports, num_transactions,
+            min_confidence,
+        )
+        if rule is not None:
+            rules.append(rule)
+            consequents.append((item,))
+    # grow consequents; anti-monotonicity prunes via the join itself
+    while len(consequents) > 1 and len(consequents[0]) + 1 < len(itemset_):
+        grown = sorted(apriori_join(consequents))
+        consequents = []
+        for consequent in grown:
+            rule = _try_rule(
+                itemset_, consequent, itemset_count, supports,
+                num_transactions, min_confidence,
+            )
+            if rule is not None:
+                rules.append(rule)
+                consequents.append(consequent)
+    return rules
+
+
+def _try_rule(
+    itemset_: Itemset,
+    consequent: Itemset,
+    itemset_count: int,
+    supports: Dict[Itemset, int],
+    num_transactions: int,
+    min_confidence: float,
+) -> Optional[AssociationRule]:
+    antecedent = difference(itemset_, consequent)
+    antecedent_count = supports.get(antecedent)
+    if antecedent_count is None or antecedent_count == 0:
+        return None
+    confidence = itemset_count / antecedent_count
+    if confidence < min_confidence:
+        return None
+    consequent_count = supports.get(consequent)
+    lift = None
+    if consequent_count:
+        lift = confidence / (consequent_count / num_transactions)
+    return AssociationRule(
+        antecedent=antecedent,
+        consequent=consequent,
+        support=itemset_count / num_transactions,
+        confidence=confidence,
+        lift=lift,
+    )
+
+
+def interesting_rules(
+    rules: Iterable[AssociationRule],
+    min_lift: float = 1.0,
+    top: Optional[int] = None,
+) -> List[AssociationRule]:
+    """Filter rules by lift and keep the ``top`` most confident ones.
+
+    Rules without a known lift are dropped when ``min_lift > 0``.
+    """
+    kept = [
+        rule
+        for rule in rules
+        if min_lift <= 0 or (rule.lift is not None and rule.lift >= min_lift)
+    ]
+    kept.sort(key=lambda rule: (-rule.confidence, -rule.support, rule.itemset))
+    return kept[:top] if top is not None else kept

@@ -1,0 +1,93 @@
+"""Tests for benchmark analysis/export (repro.bench.analysis)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.analysis import (
+    CSV_COLUMNS,
+    ascii_chart,
+    figure_report,
+    to_csv,
+    write_csv,
+)
+from repro.bench.harness import CellResult
+
+
+def make_rows():
+    shared = dict(database="T", total_candidates=50, mfs_size=3,
+                  longest_maximal=4, maximal_found_in_mfcs=2)
+    return [
+        CellResult(min_support_percent=2.0, algorithm="pincer-search",
+                   seconds=0.5, passes=4, candidates=10, **shared),
+        CellResult(min_support_percent=2.0, algorithm="apriori",
+                   seconds=5.0, passes=9, candidates=90, **shared),
+        CellResult(min_support_percent=1.0, algorithm="pincer-search",
+                   seconds=1.0, passes=5, candidates=20, **shared),
+        CellResult(min_support_percent=1.0, algorithm="apriori",
+                   seconds=30.0, passes=12, candidates=300, dnf=True,
+                   **shared),
+    ]
+
+
+class TestCsv:
+    def test_round_trip_via_csv_reader(self):
+        text = to_csv(make_rows())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 4
+        assert parsed[0]["algorithm"] == "pincer-search"
+        assert parsed[3]["dnf"] == "True"
+        assert set(parsed[0]) == set(CSV_COLUMNS)
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv(make_rows(), path)
+        assert path.read_text().startswith("database,")
+
+
+class TestAsciiChart:
+    def test_bar_lengths_proportional(self):
+        chart = ascii_chart(["a", "b"], [1.0, 2.0], width=4)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 2
+        assert lines[1].count("█") == 4
+
+    def test_zero_value_has_no_bar(self):
+        chart = ascii_chart(["zero", "one"], [0.0, 1.0], width=4)
+        assert chart.splitlines()[0].count("█") == 0
+
+    def test_small_positive_gets_minimum_bar(self):
+        chart = ascii_chart(["tiny", "big"], [0.001, 100.0], width=10)
+        assert chart.splitlines()[0].count("█") == 1
+
+    def test_empty_input(self):
+        assert ascii_chart([], []) == ""
+
+    def test_misaligned_input_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        chart = ascii_chart(["x"], [3.0], unit="x")
+        assert chart.endswith("3x")
+
+
+class TestFigureReport:
+    def test_contains_all_three_panels(self):
+        report = figure_report(make_rows(), title="demo")
+        assert "demo" in report
+        assert "relative time" in report
+        assert "candidates per cell" in report
+        assert "passes per cell" in report
+
+    def test_ratios_rendered_per_support(self):
+        report = figure_report(make_rows())
+        assert "2%" in report
+        assert "1%" in report
+        assert "10x" in report  # 5.0 / 0.5 at 2%
+
+    def test_dnf_lower_bound_note(self):
+        report = figure_report(make_rows())
+        assert "lower bounds" in report
+        assert "1%" in report

@@ -1,0 +1,129 @@
+"""Unit tests for candidate generation (repro.core.candidates)."""
+
+import pytest
+
+from repro.core.candidates import (
+    apriori_join,
+    apriori_prune,
+    first_level_candidates,
+    generate_candidates,
+    pincer_prune,
+    recovery,
+)
+from repro.core.cover import CoverIndex
+
+
+class TestJoin:
+    def test_join_pairs_sharing_prefix(self):
+        assert apriori_join([(1, 2), (1, 3), (1, 4)]) == {
+            (1, 2, 3), (1, 2, 4), (1, 3, 4),
+        }
+
+    def test_join_requires_shared_prefix(self):
+        assert apriori_join([(1, 2), (2, 3)]) == set()
+
+    def test_join_of_singletons_gives_all_pairs(self):
+        assert apriori_join([(1,), (2,), (3,)]) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_join_empty_input(self):
+        assert apriori_join([]) == set()
+
+    def test_join_single_itemset(self):
+        assert apriori_join([(1, 2)]) == set()
+
+    def test_join_rejects_mixed_lengths(self):
+        with pytest.raises(ValueError):
+            apriori_join([(1,), (1, 2)])
+
+    def test_join_accepts_unsorted_collections(self):
+        # the function sorts internally; input order must not matter
+        assert apriori_join([(1, 3), (1, 2)]) == {(1, 2, 3)}
+
+
+class TestPrune:
+    def test_prune_keeps_candidate_with_all_subsets_frequent(self):
+        kept = apriori_prune({(1, 2, 3)}, {(1, 2), (1, 3), (2, 3)})
+        assert kept == {(1, 2, 3)}
+
+    def test_prune_drops_candidate_with_missing_subset(self):
+        assert apriori_prune({(1, 2, 3)}, {(1, 2), (1, 3)}) == set()
+
+    def test_prune_empty_candidates(self):
+        assert apriori_prune(set(), {(1, 2)}) == set()
+
+
+class TestRecovery:
+    def test_recovery_for_k1(self):
+        # pass 1: every 1-itemset in L_1 pairs with every item of X
+        recovered = recovery([(9,)], [(1, 2, 3)], 1)
+        assert recovered == {(1, 9), (2, 9), (3, 9)}
+
+    def test_recovery_skips_short_mfs_members(self):
+        # members of length <= k cannot contribute partners
+        assert recovery([(1, 2)], [(1, 2)], 2) == set()
+
+    def test_recovery_prefix_not_in_member(self):
+        assert recovery([(8, 9, 10)], [(1, 2, 3, 4, 5)], 3) == set()
+
+    def test_recovery_item_between_prefix_and_last(self):
+        # X items after the prefix that sort BELOW Y's last item
+        recovered = recovery([(1, 2, 9)], [(1, 2, 3, 4)], 3)
+        assert recovered == {(1, 2, 3, 9), (1, 2, 4, 9)}
+
+    def test_recovery_rejects_wrong_level_inputs(self):
+        with pytest.raises(ValueError):
+            recovery([(1, 2)], [(1, 2, 3)], 3)
+
+    def test_recovery_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            recovery([], [(1,)], 0)
+
+    def test_recovery_with_cover_index_input(self):
+        cover = CoverIndex([(1, 2, 3, 4, 5)])
+        assert recovery([(2, 4, 6), (2, 5, 6), (4, 5, 6)], cover, 3) == {
+            (2, 4, 5, 6)
+        }
+
+
+class TestPincerPrune:
+    def test_drops_subsets_of_mfs(self):
+        kept = pincer_prune({(1, 2, 3)}, {(1, 2), (1, 3), (2, 3)}, [(1, 2, 3, 4)])
+        assert kept == set()
+
+    def test_subset_known_frequent_via_mfs(self):
+        # (1,2) not in L_2 but under the MFS member -> candidate survives
+        kept = pincer_prune({(1, 2, 9)}, {(1, 9), (2, 9)}, [(1, 2, 3)])
+        assert kept == {(1, 2, 9)}
+
+    def test_subset_unknown_drops_candidate(self):
+        kept = pincer_prune({(1, 2, 9)}, {(1, 9)}, [(1, 3)])
+        assert kept == set()
+
+    def test_no_mfs_behaves_like_apriori_prune(self):
+        candidates = {(1, 2, 3), (2, 3, 4)}
+        level = {(1, 2), (1, 3), (2, 3)}
+        assert pincer_prune(candidates, level, []) == apriori_prune(
+            candidates, level
+        )
+
+
+class TestGenerateCandidates:
+    def test_without_mfs_equals_apriori_gen(self):
+        level = [(1, 2), (1, 3), (2, 3), (2, 4)]
+        expected = apriori_prune(apriori_join(level), set(level))
+        assert generate_candidates(level, [], 2) == expected
+
+    def test_with_mfs_excludes_covered_candidates(self):
+        level = [(1, 2), (1, 3), (2, 3)]
+        assert generate_candidates(level, [(1, 2, 3, 4)], 2) == set()
+
+    def test_empty_level_with_mfs(self):
+        assert generate_candidates([], [(1, 2, 3)], 3) == set()
+
+
+class TestFirstLevel:
+    def test_first_level_candidates(self):
+        assert first_level_candidates([3, 1, 1]) == [(1,), (3,)]
+
+    def test_first_level_of_empty_universe(self):
+        assert first_level_candidates([]) == []

@@ -1,0 +1,91 @@
+"""Tests for database file I/O (repro.db.io)."""
+
+import pytest
+
+from repro.db import io
+from repro.db.transaction_db import TransactionDatabase
+
+
+def sample_db():
+    return TransactionDatabase([[3, 1], [2], [1, 2, 3]])
+
+
+class TestBasketFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "db.dat"
+        io.save_basket(sample_db(), path)
+        assert io.load_basket(path) == sample_db()
+
+    def test_items_written_sorted(self, tmp_path):
+        path = tmp_path / "db.dat"
+        io.save_basket(sample_db(), path)
+        assert path.read_text().splitlines()[0] == "1 3"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("1 2\n\n3\n")
+        db = io.load_basket(path)
+        assert len(db) == 2
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("1 2\nfoo bar\n")
+        with pytest.raises(ValueError, match=":2:"):
+            io.load_basket(path)
+
+
+class TestCsvFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "db.csv"
+        io.save_csv(sample_db(), path)
+        assert io.load_csv(path) == sample_db()
+
+    def test_malformed_cell(self, tmp_path):
+        path = tmp_path / "db.csv"
+        path.write_text("1,x\n")
+        with pytest.raises(ValueError, match=":1:"):
+            io.load_csv(path)
+
+    def test_trailing_commas_tolerated(self, tmp_path):
+        path = tmp_path / "db.csv"
+        path.write_text("1,2,\n")
+        assert io.load_csv(path)[0] == frozenset({1, 2})
+
+
+class TestJsonFormat:
+    def test_round_trip_preserves_universe(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = TransactionDatabase([[1]], universe=range(1, 5))
+        io.save_json(db, path)
+        loaded = io.load_json(path)
+        assert loaded == db
+        assert loaded.universe == (1, 2, 3, 4)
+
+    def test_rejects_non_object_payload(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="transactions"):
+            io.load_json(path)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["db.dat", "db.basket", "db.txt",
+                                      "db.csv", "db.json"])
+    def test_save_load_by_extension(self, tmp_path, name):
+        path = tmp_path / name
+        io.save(sample_db(), path)
+        loaded = io.load(path)
+        assert list(loaded) == list(sample_db())
+
+    def test_unknown_extension_raises_on_load(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            io.load(tmp_path / "db.parquet")
+
+    def test_unknown_extension_raises_on_save(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            io.save(sample_db(), tmp_path / "db.parquet")
+
+    def test_extension_dispatch_is_case_insensitive(self, tmp_path):
+        path = tmp_path / "DB.DAT"
+        io.save(sample_db(), path)
+        assert len(io.load(path)) == 3

@@ -1,0 +1,190 @@
+"""The worked examples from the paper, as executable tests.
+
+Three fragments of the paper come with fully specified inputs and
+outputs; these tests pin our implementation to them:
+
+* Section 3.2 — the MFCS-gen example: MFCS ``{{1..6}}`` updated with
+  infrequent ``{1,6}`` and ``{3,6}``.
+* Section 3.4 — the recovery example: ``L_3`` reduced to
+  ``{{2,4,6}, {2,5,6}, {4,5,6}}`` by the maximal frequent itemset
+  ``{1,2,3,4,5}``, from which the candidate ``{2,4,5,6}`` must be
+  recovered.
+* Section 4.1.3 — the non-monotone-MFS example: lowering the minimum
+  support can *shrink* the maximum frequent set.
+"""
+
+from repro.core.candidates import (
+    apriori_join,
+    generate_candidates,
+    pincer_prune,
+    recovery,
+)
+from repro.core.mfcs import MFCS
+from repro.db.transaction_db import TransactionDatabase
+from repro.algorithms.brute_force import brute_force_mfs
+
+
+class TestSection32MfcsGen:
+    """Paper Section 3.2: the MFCS-gen worked example."""
+
+    def test_first_infrequent_itemset_splits_the_top(self):
+        mfcs = MFCS([(1, 2, 3, 4, 5, 6)])
+        mfcs.exclude((1, 6))
+        assert mfcs.elements == {(1, 2, 3, 4, 5), (2, 3, 4, 5, 6)}
+
+    def test_second_infrequent_itemset_refines_further(self):
+        mfcs = MFCS([(1, 2, 3, 4, 5, 6)])
+        mfcs.exclude((1, 6))
+        mfcs.exclude((3, 6))
+        # {2,3,4,5} is generated but discarded: it is a subset of
+        # {1,2,3,4,5} already in the MFCS (minimality).
+        assert mfcs.elements == {(1, 2, 3, 4, 5), (2, 4, 5, 6)}
+
+    def test_batch_update_matches_sequential_excludes(self):
+        sequential = MFCS([(1, 2, 3, 4, 5, 6)])
+        sequential.exclude((1, 6))
+        sequential.exclude((3, 6))
+        batched = MFCS([(1, 2, 3, 4, 5, 6)])
+        assert batched.update([(1, 6), (3, 6)])
+        assert batched.elements == sequential.elements
+
+    def test_introduction_example_m_levels_in_one_pass(self):
+        # Section 3.1: "If some m 1-itemsets are infrequent after the
+        # first pass, MFCS will have one element of cardinality n - m."
+        mfcs = MFCS.for_universe(range(1, 11))
+        for infrequent_item in (2, 5, 9):
+            mfcs.exclude((infrequent_item,))
+        assert mfcs.elements == {(1, 3, 4, 6, 7, 8, 10)}
+
+
+class TestSection34Recovery:
+    """Paper Section 3.4: the join gap and its recovery."""
+
+    L3 = [
+        (1, 2, 3), (1, 2, 4), (1, 2, 5), (1, 3, 4), (1, 3, 5), (1, 4, 5),
+        (2, 3, 4), (2, 3, 5), (2, 4, 5), (2, 4, 6), (2, 5, 6), (3, 4, 5),
+        (4, 5, 6),
+    ]
+    MAXIMAL = (1, 2, 3, 4, 5)
+
+    def reduced_l3(self):
+        return [
+            itemset
+            for itemset in self.L3
+            if not set(itemset) <= set(self.MAXIMAL)
+        ]
+
+    def test_reduced_frequent_set_is_as_in_the_paper(self):
+        assert self.reduced_l3() == [(2, 4, 6), (2, 5, 6), (4, 5, 6)]
+
+    def test_plain_join_misses_the_candidate(self):
+        # no two survivors share a 2-prefix -> the join yields nothing
+        assert apriori_join(self.reduced_l3()) == set()
+
+    def test_recovery_restores_exactly_the_missing_candidate(self):
+        recovered = recovery(self.reduced_l3(), [self.MAXIMAL], 3)
+        assert recovered == {(2, 4, 5, 6)}
+
+    def test_new_prune_keeps_the_recovered_candidate(self):
+        # {2,4,5} is not in the reduced L_3 but is a subset of the MFS
+        # element, so the candidate must survive (amendment A3).
+        kept = pincer_prune(
+            {(2, 4, 5, 6)}, set(self.reduced_l3()), [self.MAXIMAL]
+        )
+        assert kept == {(2, 4, 5, 6)}
+
+    def test_full_candidate_generation_pipeline(self):
+        candidates = generate_candidates(self.reduced_l3(), [self.MAXIMAL], 3)
+        assert candidates == {(2, 4, 5, 6)}
+
+    def test_candidates_that_are_mfs_subsets_are_pruned(self):
+        # the unreduced L_3 joined normally would produce many subsets of
+        # {1,2,3,4,5}; the new prune must remove all of them
+        candidates = generate_candidates(self.L3, [self.MAXIMAL], 3)
+        assert candidates == {(2, 4, 5, 6)}
+
+
+class TestFigure2EndToEnd:
+    """A database realising the paper's Figure 2 scenario, mined for real.
+
+    Six items; minimum support 50% over six transactions (threshold 3):
+
+    * all six 1-itemsets are frequent;
+    * exactly the pairs {1,6} and {3,6} are infrequent (support 0);
+    * ``L_3`` is exactly the paper's 13-itemset list;
+    * the maximum frequent set is {{1,2,3,4,5}, {2,4,5,6}} — the two
+      ellipses of Figure 2.
+    """
+
+    def build_database(self):
+        return TransactionDatabase(
+            [[1, 2, 3, 4, 5]] * 3 + [[2, 4, 5, 6]] * 3
+        )
+
+    def test_level_structure_matches_figure(self):
+        from repro.algorithms.brute_force import brute_force_frequents
+
+        frequents = brute_force_frequents(self.build_database(), 0.5)
+        level2 = sorted(f for f in frequents if len(f) == 2)
+        assert (1, 6) not in level2 and (3, 6) not in level2
+        assert len(level2) == 13  # 15 pairs minus the two infrequent
+        level3 = sorted(f for f in frequents if len(f) == 3)
+        assert level3 == sorted(TestSection34Recovery.L3)
+
+    def test_pincer_finds_both_maximal_itemsets(self):
+        from repro.core.pincer import pincer_search
+
+        result = pincer_search(self.build_database(), 0.5, adaptive=False)
+        assert set(result.mfs) == {(1, 2, 3, 4, 5), (2, 4, 5, 6)}
+
+    def test_both_maximal_itemsets_discovered_top_down(self):
+        from repro.core.pincer import pincer_search
+
+        result = pincer_search(self.build_database(), 0.5, adaptive=False)
+        # the MFCS (not the bottom-up frontier) discovers both
+        assert result.stats.total_maximal_found_in_mfcs == 2
+
+    def test_early_discovery_saves_passes_over_apriori(self):
+        from repro.algorithms.apriori import apriori
+        from repro.core.pincer import pincer_search
+
+        pincer = pincer_search(self.build_database(), 0.5, adaptive=False)
+        baseline = apriori(self.build_database(), 0.5)
+        # Apriori must walk all 5 levels; the pincer stops early
+        assert baseline.stats.num_passes == 5
+        assert pincer.stats.num_passes < baseline.stats.num_passes
+
+    def test_subsets_of_discovered_maximal_itemsets_are_pruned(self):
+        from repro.core.pincer import pincer_search
+
+        result = pincer_search(self.build_database(), 0.5, adaptive=False)
+        pruned = sum(
+            stats.pruned_as_mfs_subsets for stats in result.stats.passes
+        )
+        assert pruned > 0
+
+
+class TestSection413NonMonotoneMfs:
+    """Paper Section 4.1.3: |MFS| is not monotone in the minimum support."""
+
+    def build_database(self):
+        # 9 transactions: {1,2}, {1,3}, {2,3} x2 each, {1,2,3} x3
+        transactions = (
+            [[1, 2]] * 2 + [[1, 3]] * 2 + [[2, 3]] * 2 + [[1, 2, 3]] * 3
+        )
+        return TransactionDatabase(transactions)
+
+    def test_higher_support_gives_three_maximal_pairs(self):
+        db = self.build_database()
+        # support({i,j}) = 5/9 each; support({1,2,3}) = 3/9
+        assert brute_force_mfs(db, 5 / 9) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_lower_support_gives_one_maximal_triple(self):
+        db = self.build_database()
+        assert brute_force_mfs(db, 3 / 9) == {(1, 2, 3)}
+
+    def test_mfs_size_decreased_while_support_decreased(self):
+        db = self.build_database()
+        high = brute_force_mfs(db, 5 / 9)
+        low = brute_force_mfs(db, 3 / 9)
+        assert len(low) < len(high)

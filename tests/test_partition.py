@@ -1,0 +1,77 @@
+"""Tests for the Partition baseline (repro.algorithms.partition)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.brute_force import brute_force_mfs
+from repro.algorithms.partition import PartitionMiner, partition_mine
+from repro.db.counting import get_counter
+from repro.db.transaction_db import TransactionDatabase
+
+
+def toy_db():
+    return TransactionDatabase(
+        [[1, 2, 3]] * 6 + [[1, 2]] * 2 + [[4, 5]] * 4
+    )
+
+
+class TestPartitionMiner:
+    def test_matches_brute_force_on_toy(self):
+        result = partition_mine(toy_db(), 0.3)
+        assert set(result.mfs) == brute_force_mfs(toy_db(), 0.3)
+
+    def test_exactly_two_logical_passes(self):
+        result = partition_mine(toy_db(), 0.3)
+        assert result.stats.num_passes == 2
+
+    def test_single_partition_degenerates_to_apriori_plus_verify(self):
+        result = partition_mine(toy_db(), 0.3, num_partitions=1)
+        assert set(result.mfs) == brute_force_mfs(toy_db(), 0.3)
+
+    def test_more_partitions_than_transactions(self):
+        db = TransactionDatabase([[1, 2], [1, 2], [3]])
+        result = partition_mine(db, 0.5, num_partitions=50)
+        assert set(result.mfs) == brute_force_mfs(db, 0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PartitionMiner(num_partitions=0)
+
+    def test_randomised_exactness(self):
+        rng = random.Random(12)
+        for trial in range(40):
+            n = rng.randint(2, 8)
+            db = TransactionDatabase(
+                [
+                    [i for i in range(1, n + 1) if rng.random() < 0.5]
+                    for _ in range(rng.randint(4, 30))
+                ],
+                universe=range(1, n + 1),
+            )
+            minsup = rng.choice([0.15, 0.3, 0.5])
+            partitions = rng.choice([1, 2, 3, 5])
+            result = partition_mine(db, minsup, num_partitions=partitions)
+            assert set(result.mfs) == brute_force_mfs(db, minsup), trial
+
+    def test_skewed_partitions_still_exact(self):
+        # all occurrences of the pattern concentrated in one partition
+        db = TransactionDatabase([[1, 2]] * 5 + [[3]] * 15)
+        result = partition_mine(db, 0.25, num_partitions=4)
+        assert set(result.mfs) == brute_force_mfs(db, 0.25)
+
+    def test_phase2_counts_are_global(self):
+        result = partition_mine(toy_db(), 0.3)
+        for member in result.mfs:
+            assert result.supports[member] == toy_db().support_count(member)
+
+    def test_union_candidates_superset_of_global_frequents(self):
+        db = toy_db()
+        counter = get_counter("bitmap")
+        result = PartitionMiner(num_partitions=3).mine(
+            db, 0.3, counter=counter
+        )
+        truth = brute_force_mfs(db, 0.3)
+        # every truly frequent maximal itemset was in the verified union
+        for member in truth:
+            assert member in result.supports

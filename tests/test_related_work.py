@@ -1,0 +1,120 @@
+"""Tests for the related-work baselines: sampling and randomized MFS."""
+
+import random
+
+import pytest
+
+from repro.algorithms.brute_force import brute_force_mfs
+from repro.algorithms.randomized import RandomizedMFS, randomized_mfs
+from repro.algorithms.sampling import SamplingMiner, sampling_mine
+from repro.core.itemset import is_subset_of_any
+from repro.core.lattice import is_antichain
+from repro.db.transaction_db import TransactionDatabase
+
+
+def toy_db():
+    return TransactionDatabase(
+        [[1, 2, 3]] * 5 + [[1, 2]] * 2 + [[4, 5]] * 3 + [[6]]
+    )
+
+
+class TestSamplingMiner:
+    def test_exact_result_on_toy_database(self):
+        result = sampling_mine(toy_db(), 0.25, sample_fraction=0.5, seed=1)
+        assert set(result.mfs) == brute_force_mfs(toy_db(), 0.25)
+
+    def test_full_sample_is_always_exact(self):
+        result = sampling_mine(toy_db(), 0.3, sample_fraction=1.0)
+        assert set(result.mfs) == brute_force_mfs(toy_db(), 0.3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SamplingMiner(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            SamplingMiner(lowering=1.5)
+
+    def test_randomised_exactness(self):
+        # sampling + border verification (+ fallback) must be EXACT, not
+        # approximate, on every input
+        rng = random.Random(44)
+        for trial in range(40):
+            n = rng.randint(2, 8)
+            db = TransactionDatabase(
+                [
+                    [i for i in range(1, n + 1) if rng.random() < 0.5]
+                    for _ in range(rng.randint(4, 25))
+                ],
+                universe=range(1, n + 1),
+            )
+            minsup = rng.choice([0.2, 0.4, 0.6])
+            result = sampling_mine(
+                db, minsup, sample_fraction=0.3, lowering=0.7, seed=trial
+            )
+            assert set(result.mfs) == brute_force_mfs(db, minsup), trial
+
+    def test_happy_path_uses_one_full_pass(self):
+        # a strongly regular database: the sample cannot miss
+        db = TransactionDatabase([[1, 2]] * 40)
+        miner = SamplingMiner(sample_fraction=0.5, seed=3)
+        from repro.db.counting import get_counter
+
+        counter = get_counter("bitmap")
+        result = miner.mine(db, 0.5, counter=counter)
+        assert set(result.mfs) == {(1, 2)}
+        assert counter.passes == 1  # verification pass only
+
+    def test_supports_are_full_database_counts(self):
+        result = sampling_mine(toy_db(), 0.25, sample_fraction=0.5, seed=2)
+        for member in result.mfs:
+            assert result.supports[member] == toy_db().support_count(member)
+
+
+class TestRandomizedMFS:
+    def test_soundness_every_output_is_maximal(self):
+        rng = random.Random(9)
+        for trial in range(25):
+            n = rng.randint(2, 8)
+            db = TransactionDatabase(
+                [
+                    [i for i in range(1, n + 1) if rng.random() < 0.5]
+                    for _ in range(rng.randint(3, 20))
+                ],
+                universe=range(1, n + 1),
+            )
+            minsup = rng.choice([0.2, 0.4])
+            truth = brute_force_mfs(db, minsup)
+            result = randomized_mfs(db, minsup, seed=trial)
+            # soundness: discovered ⊆ truth (each member truly maximal)
+            assert set(result.mfs) <= truth, trial
+            assert is_antichain(result.mfs)
+
+    def test_complete_on_small_instances_with_many_restarts(self):
+        db = toy_db()
+        truth = brute_force_mfs(db, 0.25)
+        result = RandomizedMFS(max_restarts=500, stall_limit=200, seed=1).mine(
+            db, 0.25
+        )
+        assert set(result.mfs) == truth
+
+    def test_single_pattern_database(self):
+        db = TransactionDatabase([[1, 2, 3]] * 5)
+        assert set(randomized_mfs(db, 0.5).mfs) == {(1, 2, 3)}
+
+    def test_nothing_frequent(self):
+        db = TransactionDatabase([[1], [2], [3]])
+        assert randomized_mfs(db, 0.9).mfs == frozenset()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedMFS(max_restarts=0)
+
+    def test_incompleteness_is_possible(self):
+        # with a single restart the miner finds exactly one maximal set;
+        # this pins down WHY the paper contrasts its deterministic
+        # algorithm with the randomized approach
+        db = toy_db()
+        truth = brute_force_mfs(db, 0.25)
+        assert len(truth) > 1
+        result = RandomizedMFS(max_restarts=1, seed=0).mine(db, 0.25)
+        assert len(result.mfs) == 1
+        assert is_subset_of_any(next(iter(result.mfs)), truth)

@@ -1,0 +1,93 @@
+"""Tests for the scenario generators (repro.datagen.scenarios)."""
+
+import pytest
+
+from repro.apps.episodes import mine_episodes, sequence_to_events
+from repro.apps.keys import Relation, minimal_keys
+from repro.core.pincer import pincer_search
+from repro.datagen.scenarios import (
+    DEFAULT_SECTORS,
+    EMPLOYEE_COLUMNS,
+    EVENT_NAMES,
+    clickstream,
+    correlated_market,
+    employees_table,
+    sector_of,
+)
+
+
+class TestCorrelatedMarket:
+    def test_shape(self):
+        db = correlated_market(num_days=200)
+        assert len(db) == 200
+        assert db.universe == tuple(range(40))
+
+    def test_determinism(self):
+        assert correlated_market(num_days=50) == correlated_market(num_days=50)
+        assert correlated_market(num_days=50) != correlated_market(
+            num_days=50, seed=99
+        )
+
+    def test_sector_blocks_are_maximal_frequent_itemsets(self):
+        db = correlated_market(num_days=800, seed=11)
+        result = pincer_search(db, 0.25)
+        discovered = {frozenset(member) for member in result.mfs if len(member) > 4}
+        expected = {frozenset(members) for members in DEFAULT_SECTORS.values()}
+        assert expected <= discovered
+
+    def test_sector_of(self):
+        assert sector_of(0) == "tech"
+        assert sector_of(39) == "retail"
+        assert sector_of(99) == "?"
+
+    def test_custom_sectors(self):
+        sectors = {"a": [0, 1], "b": [2, 3]}
+        db = correlated_market(num_days=50, sectors=sectors)
+        assert db.universe == (0, 1, 2, 3)
+
+
+class TestClickstream:
+    def test_length_and_vocabulary(self):
+        stream = clickstream(length=500)
+        assert len(stream) == 500
+        assert all(event in EVENT_NAMES for event in stream)
+
+    def test_determinism(self):
+        assert clickstream(length=300) == clickstream(length=300)
+        assert clickstream(length=300) != clickstream(length=300, seed=9)
+
+    def test_purchase_funnel_is_a_frequent_episode(self):
+        stream = clickstream(length=4000, noise_prob=0.1, keep_prob=0.97)
+        episodes = mine_episodes(
+            sequence_to_events(stream), width=8, min_support=0.1
+        )
+        longest = episodes[0]
+        # the 6-step purchase funnel (or most of it) dominates
+        assert len(longest) >= 5
+        assert 0 in longest.event_types  # login present
+
+    def test_custom_templates(self):
+        stream = clickstream(
+            length=200, templates=[((1, 2), 1.0)], noise_prob=0.0,
+            keep_prob=1.0,
+        )
+        assert set(stream) == {1, 2}
+
+
+class TestEmployeesTable:
+    def test_shape_and_columns(self):
+        rows, columns = employees_table(count=50)
+        assert len(rows) == 50
+        assert columns == EMPLOYEE_COLUMNS
+        assert all(len(row) == len(columns) for row in rows)
+
+    def test_known_minimal_keys(self):
+        rows, columns = employees_table(count=120)
+        relation = Relation(rows, column_names=columns)
+        keys = minimal_keys(relation)
+        singles = {key for key in keys if len(key) == 1}
+        named = {relation.names(key)[0] for key in singles}
+        assert named == {"employee_id", "email", "badge_no"}
+
+    def test_determinism(self):
+        assert employees_table(count=30) == employees_table(count=30)

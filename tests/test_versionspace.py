@@ -1,0 +1,134 @@
+"""Tests for the version-space view of the search (repro.core.versionspace)."""
+
+import pytest
+
+from repro.core.pincer import pincer_search
+from repro.core.versionspace import (
+    InconsistentInstance,
+    VersionSpace,
+    replay_mining_run,
+)
+from repro.db.transaction_db import TransactionDatabase
+
+
+class TestBoundaries:
+    def test_initial_boundaries(self):
+        space = VersionSpace([1, 2, 3])
+        assert space.specific_boundary == set()
+        assert space.general_boundary == {(1, 2, 3)}
+
+    def test_positive_generalises_s(self):
+        space = VersionSpace([1, 2, 3])
+        space.add_positive((1, 2))
+        assert space.specific_boundary == {(1, 2)}
+        space.add_positive((1,))  # already entailed: no change
+        assert space.specific_boundary == {(1, 2)}
+
+    def test_positive_swallows_weaker_members(self):
+        space = VersionSpace([1, 2, 3])
+        space.add_positive((1,))
+        space.add_positive((1, 2))
+        assert space.specific_boundary == {(1, 2)}
+
+    def test_negative_specialises_g(self):
+        space = VersionSpace([1, 2, 3])
+        space.add_negative((2, 3))
+        assert space.general_boundary == {(1, 2), (1, 3)}
+
+    def test_g_update_is_mfcs_gen(self):
+        space = VersionSpace([1, 2, 3, 4, 5, 6])
+        space.add_negative((1, 6))
+        space.add_negative((3, 6))
+        # the paper's Section 3.2 worked example
+        assert space.general_boundary == {(1, 2, 3, 4, 5), (2, 4, 5, 6)}
+
+
+class TestConsistency:
+    def test_positive_above_negative_rejected(self):
+        space = VersionSpace([1, 2, 3])
+        space.add_negative((1, 2))
+        with pytest.raises(InconsistentInstance):
+            space.add_positive((1, 2, 3))
+
+    def test_negative_below_positive_rejected(self):
+        space = VersionSpace([1, 2, 3])
+        space.add_positive((1, 2))
+        with pytest.raises(InconsistentInstance):
+            space.add_negative((1,))
+
+    def test_observe_routes_labels(self):
+        space = VersionSpace([1, 2, 3])
+        space.observe((1, 2), True)
+        space.observe((3,), False)
+        assert space.specific_boundary == {(1, 2)}
+        assert space.general_boundary == {(1, 2)}
+
+
+class TestClassification:
+    def space(self):
+        space = VersionSpace([1, 2, 3, 4])
+        space.add_positive((1, 2))
+        space.add_negative((3, 4))
+        return space
+
+    def test_entailed_positive(self):
+        assert self.space().classifies_positive((1,))
+        assert self.space().classifies_positive((1, 2))
+
+    def test_entailed_negative(self):
+        assert self.space().classifies_negative((3, 4))
+        assert self.space().classifies_negative((1, 3, 4))
+
+    def test_ambiguous_region(self):
+        space = self.space()
+        assert space.is_ambiguous((1, 3))
+        assert (1, 3) in space.ambiguous_region()
+        assert not space.is_ambiguous((1, 2))
+
+    def test_convergence(self):
+        space = VersionSpace([1, 2, 3])
+        assert not space.has_converged()
+        space.add_positive((1, 2))
+        space.add_negative((3,))
+        # G is now {(1,2)}: closures agree
+        assert space.has_converged()
+        assert space.ambiguous_region() == set()
+
+
+class TestReplay:
+    def test_replaying_a_mining_run_converges_to_its_mfs(self):
+        db = TransactionDatabase(
+            [[1, 2, 3]] * 4 + [[1, 2]] * 2 + [[4]] * 2 + [[1, 4]]
+        )
+        result = pincer_search(db, min_count=2, adaptive=False)
+        classified = [
+            (itemset_, count >= result.min_support_count)
+            for itemset_, count in sorted(
+                result.supports.items(), key=lambda pair: (len(pair[0]), pair[0])
+            )
+            if itemset_
+        ]
+        space = replay_mining_run(db.universe, classified)
+        # G's closure must cover the true MFS, and every G member must be
+        # consistent with the run's classifications
+        for member in result.mfs:
+            assert not space.classifies_negative(member)
+        assert space.specific_boundary <= set(result.mfs) | {
+            member
+            for member in space.specific_boundary
+        }
+
+    def test_full_classification_converges_exactly(self):
+        db = TransactionDatabase([[1, 2]] * 3 + [[3]] * 2)
+        from repro.algorithms.brute_force import brute_force_frequents
+        from itertools import combinations
+
+        frequents = brute_force_frequents(db, min_count=2)
+        labels = []
+        for size in range(1, 4):
+            for candidate in combinations(db.universe, size):
+                labels.append((candidate, candidate in frequents))
+        space = replay_mining_run(db.universe, labels)
+        assert space.has_converged()
+        assert space.specific_boundary == {(1, 2), (3,)}
+        assert space.general_boundary == {(1, 2), (3,)}
