@@ -24,7 +24,12 @@ from ..core.lattice import maximal_elements
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult, MiningTimeout
 from ..core.stats import MiningStats
-from ..db.counting import CountingDeadline, SupportCounter, get_counter
+from ..db.counting import (
+    CountingDeadline,
+    SupportCounter,
+    get_counter,
+    select_engine,
+)
 from ..db.transaction_db import TransactionDatabase
 
 
@@ -33,7 +38,7 @@ class Apriori:
 
     name = "apriori"
 
-    def __init__(self, engine: str = "bitmap") -> None:
+    def __init__(self, engine: str = "auto") -> None:
         self._engine = engine
 
     def mine(
@@ -56,7 +61,11 @@ class Apriori:
         :class:`~repro.core.result.MiningTimeout` instead of thrashing.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = counter if counter is not None else get_counter(self._engine)
+        engine = (
+            counter
+            if counter is not None
+            else get_counter(select_engine(db, self._engine))
+        )
         started = time.perf_counter()
 
         stats = MiningStats(algorithm=self.name)
@@ -147,7 +156,7 @@ def apriori(
     min_support: Optional[float] = None,
     *,
     min_count: Optional[int] = None,
-    engine: str = "bitmap",
+    engine: str = "auto",
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`Apriori`.
 

@@ -31,7 +31,7 @@ from ..core.lattice import maximal_elements
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
-from ..db.counting import SupportCounter, get_counter
+from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 from .apriori import Apriori
 
@@ -41,7 +41,7 @@ class PartitionMiner:
 
     name = "partition"
 
-    def __init__(self, num_partitions: int = 4, engine: str = "bitmap") -> None:
+    def __init__(self, num_partitions: int = 4, engine: str = "auto") -> None:
         if num_partitions < 1:
             raise ValueError("need at least one partition")
         self._num_partitions = num_partitions
@@ -57,7 +57,11 @@ class PartitionMiner:
     ) -> MiningResult:
         """Discover the maximum frequent set with two database reads."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = counter if counter is not None else get_counter(self._engine)
+        engine = (
+            counter
+            if counter is not None
+            else get_counter(select_engine(db, self._engine))
+        )
         started = time.perf_counter()
         stats = MiningStats(algorithm=self.name)
 

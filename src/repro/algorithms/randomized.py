@@ -25,7 +25,7 @@ from ..core.itemset import Itemset
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
-from ..db.counting import SupportCounter, get_counter
+from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 
 
@@ -39,7 +39,7 @@ class RandomizedMFS:
         max_restarts: int = 200,
         stall_limit: int = 50,
         seed: int = 0,
-        engine: str = "bitmap",
+        engine: str = "auto",
     ) -> None:
         if max_restarts < 1 or stall_limit < 1:
             raise ValueError("restart limits must be positive")
@@ -62,7 +62,11 @@ class RandomizedMFS:
         frequent); completeness holds only in the limit of restarts.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = counter if counter is not None else get_counter(self._engine)
+        engine = (
+            counter
+            if counter is not None
+            else get_counter(select_engine(db, self._engine))
+        )
         rng = random.Random(self._seed)
         started = time.perf_counter()
         stats = MiningStats(algorithm=self.name)

@@ -34,7 +34,7 @@ from ..core.lattice import maximal_elements
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
-from ..db.counting import SupportCounter, get_counter
+from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 from .apriori import Apriori
 
@@ -61,7 +61,7 @@ class SamplingMiner:
         sample_fraction: float = 0.2,
         lowering: float = 0.8,
         seed: int = 0,
-        engine: str = "bitmap",
+        engine: str = "auto",
     ) -> None:
         if not 0.0 < sample_fraction <= 1.0:
             raise ValueError("sample_fraction must be in (0, 1]")
@@ -82,14 +82,18 @@ class SamplingMiner:
     ) -> MiningResult:
         """Mine the maximum frequent set via a sample plus verification."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = counter if counter is not None else get_counter(self._engine)
+        engine = (
+            counter
+            if counter is not None
+            else get_counter(select_engine(db, self._engine))
+        )
         started = time.perf_counter()
         stats = MiningStats(algorithm=self.name)
 
         sample = self._draw_sample(db)
         # the in-memory sample phase is free in the paper's I/O model;
         # mine it with Apriori at the lowered threshold
-        sample_counter = get_counter(self._engine)
+        sample_counter = get_counter(select_engine(sample, self._engine))
         sample_threshold = max(
             1, int(self._lowering * fraction * max(1, len(sample)))
         )

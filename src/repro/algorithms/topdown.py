@@ -27,7 +27,7 @@ from ..core.mfcs import MFCS
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
-from ..db.counting import SupportCounter, get_counter
+from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 
 
@@ -41,7 +41,7 @@ class TopDown:
 
     name = "top-down"
 
-    def __init__(self, engine: str = "bitmap", max_frontier: int = 200_000) -> None:
+    def __init__(self, engine: str = "auto", max_frontier: int = 200_000) -> None:
         self._engine = engine
         self._max_frontier = max_frontier
 
@@ -55,7 +55,11 @@ class TopDown:
     ) -> MiningResult:
         """Discover the maximum frequent set top-down."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = counter if counter is not None else get_counter(self._engine)
+        engine = (
+            counter
+            if counter is not None
+            else get_counter(select_engine(db, self._engine))
+        )
         started = time.perf_counter()
 
         stats = MiningStats(algorithm=self.name)
@@ -111,7 +115,7 @@ def top_down(
     min_support: Optional[float] = None,
     *,
     min_count: Optional[int] = None,
-    engine: str = "bitmap",
+    engine: str = "auto",
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`TopDown`.
 

@@ -53,8 +53,10 @@ def _add_mine_flags(parser: argparse.ArgumentParser) -> None:
         choices=("pincer", "pincer-pure", "apriori", "topdown"),
     )
     parser.add_argument(
-        "--engine", default="bitmap", choices=available_engines(),
-        help="support-counting engine",
+        "--engine", default="auto",
+        choices=("auto",) + tuple(available_engines()),
+        help="support-counting engine (auto: packed when NumPy is "
+        "available and the database is large, else bitmap)",
     )
 
 

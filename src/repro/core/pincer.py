@@ -40,7 +40,7 @@ import time
 from itertools import combinations
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..db.counting import SupportCounter, get_counter
+from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 from .adaptive import AdaptivePolicy, AlwaysMaintain
 from .candidates import apriori_join, first_level_candidates, generate_candidates
@@ -59,6 +59,9 @@ class PincerSearch:
     ----------
     engine:
         Counting-engine name (see :func:`repro.db.counting.get_counter`).
+        The default ``"auto"`` resolves per database at :meth:`mine` time:
+        ``packed`` (vectorized NumPy) on large databases when NumPy is
+        installed, else ``bitmap``.
     adaptive:
         When True (the paper's evaluated configuration) an
         :class:`AdaptivePolicy` may abandon the MFCS; when False the pure
@@ -76,7 +79,7 @@ class PincerSearch:
 
     def __init__(
         self,
-        engine: str = "bitmap",
+        engine: str = "auto",
         adaptive: bool = True,
         policy: Optional[AdaptivePolicy] = None,
         prune_uncovered: bool = False,
@@ -115,7 +118,11 @@ class PincerSearch:
         ``min_count`` (absolute transactions) must be given.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = counter if counter is not None else get_counter(self._engine)
+        engine = (
+            counter
+            if counter is not None
+            else get_counter(select_engine(db, self._engine))
+        )
         policy = self._make_policy()
         started = time.perf_counter()
 
@@ -394,7 +401,7 @@ def pincer_search(
     min_support: Optional[float] = None,
     *,
     min_count: Optional[int] = None,
-    engine: str = "bitmap",
+    engine: str = "auto",
     adaptive: bool = True,
     policy: Optional[AdaptivePolicy] = None,
     prune_uncovered: bool = False,

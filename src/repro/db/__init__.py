@@ -4,26 +4,41 @@ from .counting import (
     BitmapCounter,
     HashTreeCounter,
     NaiveCounter,
+    PackedCounter,
+    ShardedCounter,
     SupportCounter,
     TrieCounter,
     available_engines,
     count_pairs,
     count_singletons,
     get_counter,
+    select_engine,
 )
 from .disk import DiskTransactionDatabase
 from .hash_tree import HashTree
 from .io import load, load_basket, load_csv, load_json, save, save_basket, save_csv, save_json
 from .transaction_db import TransactionDatabase
 from .trie import CandidateTrie
+from .vertical import (
+    HAVE_NUMPY,
+    IntBitmapIndex,
+    PackedBitmapIndex,
+    PrefixIntersector,
+)
 
 __all__ = [
     "BitmapCounter",
     "CandidateTrie",
     "DiskTransactionDatabase",
+    "HAVE_NUMPY",
     "HashTree",
     "HashTreeCounter",
+    "IntBitmapIndex",
     "NaiveCounter",
+    "PackedBitmapIndex",
+    "PackedCounter",
+    "PrefixIntersector",
+    "ShardedCounter",
     "SupportCounter",
     "TransactionDatabase",
     "TrieCounter",
@@ -31,6 +46,7 @@ __all__ = [
     "count_pairs",
     "count_singletons",
     "get_counter",
+    "select_engine",
     "load",
     "load_basket",
     "load_csv",

@@ -1,0 +1,73 @@
+"""Base class shared by all support-counting engines.
+
+Lives below :mod:`repro.db.counting` so that engine modules
+(:mod:`repro.db.vertical`, :mod:`repro.db.parallel`) can subclass
+:class:`SupportCounter` without importing the engine registry — the
+registry imports *them*, and a shared basement module breaks the cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from .._types import CountingDeadline, Itemset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .transaction_db import TransactionDatabase
+
+
+class SupportCounter:
+    """Base class for counting engines; also the pass/IO accountant.
+
+    ``deadline`` (a :func:`time.perf_counter` timestamp, or None) is
+    checked periodically by engines that can: exceeding it aborts the
+    pass with :class:`CountingDeadline`.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.passes = 0
+        self.records_read = 0
+        self.itemsets_counted = 0
+        self.deadline: Optional[float] = None
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise CountingDeadline(
+                "%s engine passed its deadline mid-pass" % self.name
+            )
+
+    def count(
+        self, db: "TransactionDatabase", candidates: Iterable[Itemset]
+    ) -> Dict[Itemset, int]:
+        """Count supports of ``candidates``; bills exactly one pass.
+
+        An empty candidate collection is free: no pass is billed and an
+        empty mapping is returned.
+        """
+        batch = candidates if isinstance(candidates, list) else list(candidates)
+        if not batch:
+            return {}
+        self.passes += 1
+        self.records_read += len(db)
+        self._check_deadline()
+        # engines key their result by itemset, so duplicate candidates
+        # collapse in the output; billing the result size keeps
+        # ``itemsets_counted`` a count of *unique* itemsets without an
+        # upfront dedup scan of every batch
+        result = self._count(db, batch)
+        self.itemsets_counted += len(result)
+        return result
+
+    def _count(
+        self, db: "TransactionDatabase", candidates: List[Itemset]
+    ) -> Dict[Itemset, int]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero the pass/IO accounting."""
+        self.passes = 0
+        self.records_read = 0
+        self.itemsets_counted = 0

@@ -15,7 +15,7 @@ are pluggable, and the ablation benchmark compares them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .._types import Itemset
 
@@ -108,11 +108,16 @@ class HashTree:
 
     # ------------------------------------------------------------------
 
-    def count_database(self, transactions: Sequence[frozenset]) -> List[int]:
+    def count_database(
+        self,
+        transactions: Sequence[frozenset],
+        deadline_check: Optional[Callable[[], None]] = None,
+    ) -> List[int]:
         """Support counts of all stored candidates over ``transactions``.
 
         Returns a list parallel to the candidate order given at
-        construction.
+        construction.  ``deadline_check`` (if given) is invoked every few
+        hundred transactions; it may raise to abort the scan.
         """
         counts = [0] * len(self._candidates)
         if self._k == 0:
@@ -122,6 +127,8 @@ class HashTree:
         # the same bucket would otherwise double-count a leaf candidate).
         last_seen = [-1] * len(self._candidates)
         for tid, transaction in enumerate(transactions):
+            if deadline_check is not None and tid % 256 == 0:
+                deadline_check()
             if len(transaction) < self._k:
                 continue
             items = sorted(transaction)
@@ -158,10 +165,12 @@ class HashTree:
     # ------------------------------------------------------------------
 
     def counts_by_itemset(
-        self, transactions: Sequence[frozenset]
+        self,
+        transactions: Sequence[frozenset],
+        deadline_check: Optional[Callable[[], None]] = None,
     ) -> Dict[Itemset, int]:
         """Like :meth:`count_database` but keyed by itemset."""
-        counts = self.count_database(transactions)
+        counts = self.count_database(transactions, deadline_check)
         return dict(zip(self._candidates, counts))
 
     def depth_profile(self) -> Tuple[int, int]:

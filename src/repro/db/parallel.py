@@ -1,0 +1,269 @@
+"""Sharded support counting: the ``sharded`` engine.
+
+The segmentation structure of Rajalakshmi et al. (arXiv:1109.2427):
+support is additive over a row partition of the database, so the database
+is split into contiguous transaction shards, each shard is counted
+independently, and the per-shard counts are summed.  Nothing about the
+pass/IO accounting changes — one ``count`` call is still one logical pass
+over every transaction, whichever process touches it.
+
+Execution modes, chosen per database:
+
+* **in-process** (``num_shards == 1``, or ``use_processes=False``): the
+  shards are counted serially on shard-local indexes and summed.  This is
+  the degenerate-but-correct mode for small databases, single-core boxes,
+  and environments where ``multiprocessing`` is unavailable (spawn
+  failures silently fall back here).
+* **multi-process**: one worker process per shard, each holding a
+  persistent shard-local index (:func:`repro.db.vertical.build_index` —
+  packed NumPy when available).  The index is built **once**, when the
+  worker starts, and reused across every later pass of the same mining
+  run; per pass only the candidate batch and the count vector cross the
+  pipe.
+
+The shard-count heuristic targets one shard per core, but never slices so
+thin that per-shard fixed costs (pipe round-trip, batch dispatch) beat
+the counting itself: shards smaller than :data:`MIN_ROWS_PER_SHARD`
+transactions are not worth a process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from .._types import Itemset
+from .base import SupportCounter
+from .vertical import build_index
+
+__all__ = ["MIN_ROWS_PER_SHARD", "ShardedCounter", "default_num_shards"]
+
+#: Below this many transactions a shard cannot amortise its dispatch cost.
+MIN_ROWS_PER_SHARD = 512
+
+
+def default_num_shards(num_rows: int, max_workers: Optional[int] = None) -> int:
+    """One shard per core, capped so every shard stays worth dispatching."""
+    cores = os.cpu_count() or 1
+    cap = max_workers if max_workers is not None else cores
+    return max(1, min(cap, num_rows // MIN_ROWS_PER_SHARD))
+
+
+def _shard_bounds(num_rows: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal [start, stop) row ranges covering the db."""
+    base, extra = divmod(num_rows, num_shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(num_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _shard_worker(connection, transactions, universe) -> None:
+    """Worker loop: build the shard index once, then serve count batches."""
+    try:
+        index = build_index(transactions, universe)
+    except BaseException as exc:  # pragma: no cover - defensive
+        connection.send(("error", repr(exc)))
+        connection.close()
+        return
+    connection.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:  # parent vanished
+            break
+        if message is None:
+            break
+        try:
+            connection.send(("counts", index.counts(message)))
+        except BaseException as exc:  # pragma: no cover - defensive
+            connection.send(("error", repr(exc)))
+    connection.close()
+
+
+class ShardedCounter(SupportCounter):
+    """Row-sharded counting engine with persistent per-shard workers.
+
+    Parameters
+    ----------
+    num_shards:
+        Explicit shard count; default is the per-database heuristic
+        :func:`default_num_shards`.
+    max_workers:
+        Cap for the heuristic (ignored when ``num_shards`` is given).
+    use_processes:
+        True/False forces worker processes on/off; None (default) uses
+        processes whenever there is more than one shard.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        num_shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        use_processes: Optional[bool] = None,
+    ) -> None:
+        super().__init__()
+        if num_shards is not None and num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self._num_shards = num_shards
+        self._max_workers = max_workers
+        self._use_processes = use_processes
+        self._db_ref = None
+        self._indexes: List[object] = []
+        self._workers: List[multiprocessing.Process] = []
+        self._connections: List[object] = []
+        self.worker_pids: List[int] = []
+
+    # ------------------------------------------------------------------
+    # worker / shard lifecycle
+    # ------------------------------------------------------------------
+
+    def _attached_to(self, db) -> bool:
+        return self._db_ref is not None and self._db_ref() is db
+
+    def _attach(self, db) -> None:
+        self.close()
+        transactions = list(db.transactions)
+        shards = self._num_shards or default_num_shards(
+            len(transactions), self._max_workers
+        )
+        shards = max(1, min(shards, len(transactions)) if transactions else 1)
+        bounds = _shard_bounds(len(transactions), shards)
+        universe = list(db.universe)
+        processes = (
+            self._use_processes if self._use_processes is not None else shards > 1
+        )
+        if processes and shards > 1:
+            if self._spawn_workers(transactions, universe, bounds):
+                self._db_ref = weakref.ref(db)
+                return
+        # serial sharding: same shard-local indexes, same summation
+        self._indexes = [
+            build_index(transactions[start:stop], universe)
+            for start, stop in bounds
+        ]
+        self._db_ref = weakref.ref(db)
+
+    def _spawn_workers(self, transactions, universe, bounds) -> bool:
+        context = multiprocessing.get_context()
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        workers: List[multiprocessing.Process] = []
+        connections: List[object] = []
+        try:
+            for start, stop in bounds:
+                parent_end, child_end = context.Pipe()
+                worker = context.Process(
+                    target=_shard_worker,
+                    args=(child_end, transactions[start:stop], universe),
+                    daemon=True,
+                )
+                worker.start()
+                child_end.close()
+                workers.append(worker)
+                connections.append(parent_end)
+            for connection in connections:
+                kind, payload = connection.recv()
+                if kind != "ready":
+                    raise RuntimeError(
+                        "shard worker failed to start: %s" % (payload,)
+                    )
+        except (OSError, RuntimeError, EOFError):
+            for connection in connections:
+                connection.close()
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+                worker.join(timeout=1.0)
+            return False
+        self._workers = workers
+        self._connections = connections
+        self.worker_pids = [worker.pid for worker in workers]
+        return True
+
+    def close(self) -> None:
+        """Shut down workers and drop shard indexes (idempotent)."""
+        for connection in self._connections:
+            try:
+                connection.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=1.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers = []
+        self._connections = []
+        self.worker_pids = []
+        self._indexes = []
+        self._db_ref = None
+
+    def __del__(self):  # pragma: no cover - interpreter teardown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ShardedCounter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+
+    def _count(self, db, candidates: List[Itemset]) -> Dict[Itemset, int]:
+        if not self._attached_to(db):
+            self._attach(db)
+        if self._connections:
+            totals = self._count_in_workers(candidates)
+        else:
+            totals = [0] * len(candidates)
+            for index in self._indexes:
+                self._check_deadline()
+                for position, count in enumerate(
+                    index.counts(candidates, deadline_check=self._check_deadline)
+                ):
+                    totals[position] += count
+        return dict(zip(candidates, totals))
+
+    def _count_in_workers(self, candidates: List[Itemset]) -> List[int]:
+        for connection in self._connections:
+            connection.send(candidates)
+        totals = [0] * len(candidates)
+        pending = set(range(len(self._connections)))
+        while pending:
+            try:
+                self._check_deadline()
+            except Exception:
+                # pending replies would poison the next pass: drop the
+                # pool; the next count() re-attaches cleanly
+                self.close()
+                raise
+            for shard in sorted(pending):
+                connection = self._connections[shard]
+                if not connection.poll(0.01):
+                    continue
+                kind, payload = connection.recv()
+                if kind != "counts":
+                    self.close()
+                    raise RuntimeError("shard %d failed: %s" % (shard, payload))
+                for position, count in enumerate(payload):
+                    totals[position] += count
+                pending.discard(shard)
+        return totals

@@ -54,8 +54,9 @@ class TransactionDatabase:
             self._universe: Itemset = tuple(sorted(occurring))
         else:
             self._universe = tuple(sorted(set(universe)))
+            universe_set = frozenset(self._universe)
             for position, transaction in enumerate(self._transactions):
-                if not transaction <= set(self._universe):
+                if not transaction <= universe_set:
                     raise ValueError(
                         "transaction %d contains items outside the universe"
                         % position

@@ -11,7 +11,7 @@ together in one scan.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from .._types import Itemset
 
@@ -62,10 +62,20 @@ class CandidateTrie:
 
     # ------------------------------------------------------------------
 
-    def count_database(self, transactions: Sequence[frozenset]) -> List[int]:
-        """Support counts parallel to insertion order."""
+    def count_database(
+        self,
+        transactions: Sequence[frozenset],
+        deadline_check: Optional[Callable[[], None]] = None,
+    ) -> List[int]:
+        """Support counts parallel to insertion order.
+
+        ``deadline_check`` (if given) is invoked every few hundred
+        transactions; it may raise to abort the scan.
+        """
         counts = [0] * len(self._candidates)
-        for transaction in transactions:
+        for position, transaction in enumerate(transactions):
+            if deadline_check is not None and position % 256 == 0:
+                deadline_check()
             items = sorted(transaction)
             self._count(self._root, items, 0, counts)
         return counts
@@ -83,10 +93,12 @@ class CandidateTrie:
                 self._count(child, items, position + 1, counts)
 
     def counts_by_itemset(
-        self, transactions: Sequence[frozenset]
+        self,
+        transactions: Sequence[frozenset],
+        deadline_check: Optional[Callable[[], None]] = None,
     ) -> Dict[Itemset, int]:
         """Like :meth:`count_database` but keyed by itemset."""
-        counts = self.count_database(transactions)
+        counts = self.count_database(transactions, deadline_check)
         return dict(zip(self._candidates, counts))
 
     def itemsets(self) -> List[Itemset]:

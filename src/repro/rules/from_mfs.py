@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.itemset import Itemset
 from ..core.result import MiningResult
-from ..db.counting import SupportCounter, get_counter
+from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 from .generation import AssociationRule, generate_rules
 
@@ -54,7 +54,7 @@ def expand_mfs_supports(
     result: MiningResult,
     depth: int,
     counter: Optional[SupportCounter] = None,
-    engine: str = "bitmap",
+    engine: str = "auto",
 ) -> Dict[Itemset, int]:
     """Supports of all MFS subsets down to ``depth``, in one extra pass.
 
@@ -62,7 +62,11 @@ def expand_mfs_supports(
     subsets hit the database.  Returns a combined support table (the
     mining run's counts plus the new ones).
     """
-    engine_obj = counter if counter is not None else get_counter(engine)
+    engine_obj = (
+        counter
+        if counter is not None
+        else get_counter(select_engine(db, engine))
+    )
     wanted = mfs_subsets_to_depth(result.mfs, depth)
     missing = sorted(wanted - set(result.supports))
     counted = engine_obj.count(db, missing)
@@ -76,7 +80,7 @@ def rules_from_mfs(
     result: MiningResult,
     min_confidence: float,
     depth: Optional[int] = 2,
-    engine: str = "bitmap",
+    engine: str = "auto",
 ) -> List[AssociationRule]:
     """Stage-2 rules using the MFS-first strategy of the paper.
 

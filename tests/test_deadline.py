@@ -7,7 +7,7 @@ import pytest
 from repro.algorithms.apriori import Apriori
 from repro.core.candidates import apriori_join
 from repro.core.result import MiningTimeout
-from repro.db.counting import CountingDeadline, get_counter
+from repro.db.counting import CountingDeadline, available_engines, get_counter
 from repro.db.transaction_db import TransactionDatabase
 
 
@@ -16,19 +16,29 @@ def dense_db(num_items=14, copies=6):
 
 
 class TestEngineDeadline:
-    @pytest.mark.parametrize("engine", ["bitmap", "naive"])
+    @pytest.mark.parametrize("engine", available_engines())
     def test_expired_deadline_aborts_pass(self, engine):
         counter = get_counter(engine)
-        counter.deadline = time.perf_counter() - 1.0
-        with pytest.raises(CountingDeadline):
-            counter.count(dense_db(), [(0,), (1,)])
+        try:
+            counter.deadline = time.perf_counter() - 1.0
+            with pytest.raises(CountingDeadline):
+                counter.count(dense_db(), [(0,), (1,)])
+        finally:
+            close = getattr(counter, "close", None)
+            if close is not None:
+                close()
 
-    @pytest.mark.parametrize("engine", ["bitmap", "naive"])
+    @pytest.mark.parametrize("engine", available_engines())
     def test_future_deadline_lets_counting_finish(self, engine):
         counter = get_counter(engine)
-        counter.deadline = time.perf_counter() + 60.0
-        counts = counter.count(dense_db(), [(0,), (0, 1)])
-        assert counts == {(0,): 6, (0, 1): 6}
+        try:
+            counter.deadline = time.perf_counter() + 60.0
+            counts = counter.count(dense_db(), [(0,), (0, 1)])
+            assert counts == {(0,): 6, (0, 1): 6}
+        finally:
+            close = getattr(counter, "close", None)
+            if close is not None:
+                close()
 
     def test_no_deadline_by_default(self):
         counter = get_counter("bitmap")

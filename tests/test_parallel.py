@@ -1,0 +1,137 @@
+"""Unit tests for the sharded counting engine (``repro.db.parallel``)."""
+
+import time
+
+import pytest
+
+from repro.db.counting import CountingDeadline, get_counter
+from repro.db.parallel import (
+    MIN_ROWS_PER_SHARD,
+    ShardedCounter,
+    default_num_shards,
+    _shard_bounds,
+)
+from repro.db.transaction_db import TransactionDatabase
+
+TRANSACTIONS = [[1, 2, 3], [1, 2], [2, 3], [3], [1], [2]] * 4
+GROUND_TRUTH_DB = TransactionDatabase(TRANSACTIONS)
+CANDIDATES = [(), (1,), (2,), (3,), (1, 2), (2, 3), (1, 2, 3), (9,)]
+EXPECTED = get_counter("naive").count(GROUND_TRUTH_DB, CANDIDATES)
+
+
+class TestShardHeuristics:
+    def test_default_num_shards_respects_min_rows(self):
+        assert default_num_shards(0) == 1
+        assert default_num_shards(MIN_ROWS_PER_SHARD - 1) == 1
+        assert default_num_shards(MIN_ROWS_PER_SHARD, max_workers=8) == 1
+        assert default_num_shards(MIN_ROWS_PER_SHARD * 4, max_workers=2) == 2
+
+    def test_shard_bounds_cover_rows_exactly(self):
+        for rows, shards in ((10, 3), (7, 7), (5, 1), (0, 1)):
+            bounds = _shard_bounds(rows, shards)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == rows
+            for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                assert stop == start
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedCounter(num_shards=0)
+
+
+class TestSerialMode:
+    def test_counts_match_naive(self):
+        with ShardedCounter(use_processes=False, num_shards=3) as counter:
+            assert counter.count(GROUND_TRUTH_DB, CANDIDATES) == EXPECTED
+            assert counter.worker_pids == []
+
+    def test_single_shard_default_on_small_db(self):
+        with ShardedCounter() as counter:
+            assert counter.count(GROUND_TRUTH_DB, CANDIDATES) == EXPECTED
+            # the heuristic refuses to shard a 24-row database
+            assert counter.worker_pids == []
+
+
+class TestProcessMode:
+    def test_counts_match_naive_across_processes(self):
+        with ShardedCounter(num_shards=3) as counter:
+            assert counter.count(GROUND_TRUTH_DB, CANDIDATES) == EXPECTED
+            assert len(counter.worker_pids) == 3
+
+    def test_workers_reused_across_passes(self):
+        with ShardedCounter(num_shards=2) as counter:
+            counter.count(GROUND_TRUTH_DB, [(1,)])
+            pids = list(counter.worker_pids)
+            counter.count(GROUND_TRUTH_DB, [(2,), (1, 2)])
+            assert counter.worker_pids == pids
+
+    def test_new_database_respawns_workers(self):
+        with ShardedCounter(num_shards=2) as counter:
+            counter.count(GROUND_TRUTH_DB, [(1,)])
+            pids = list(counter.worker_pids)
+            other = TransactionDatabase([[1, 5]] * 8)
+            assert counter.count(other, [(5,)]) == {(5,): 8}
+            assert counter.worker_pids != pids
+
+    def test_close_is_idempotent(self):
+        counter = ShardedCounter(num_shards=2)
+        counter.count(GROUND_TRUTH_DB, [(1,)])
+        counter.close()
+        assert counter.worker_pids == []
+        counter.close()
+        # counting after close() re-attaches transparently
+        assert counter.count(GROUND_TRUTH_DB, [(1,)]) == {(1,): EXPECTED[(1,)]}
+        counter.close()
+
+    def test_more_shards_than_rows_is_clamped(self):
+        db = TransactionDatabase([[1], [1, 2]])
+        with ShardedCounter(num_shards=10) as counter:
+            assert counter.count(db, [(1,), (2,)]) == {(1,): 2, (2,): 1}
+
+
+class TestAccounting:
+    def test_accounting_matches_bitmap_engine(self):
+        bitmap = get_counter("bitmap")
+        with ShardedCounter(num_shards=2) as sharded:
+            for counter in (bitmap, sharded):
+                counter.count(GROUND_TRUTH_DB, CANDIDATES)
+                counter.count(GROUND_TRUTH_DB, [(1, 2)])
+            assert sharded.passes == bitmap.passes == 2
+            assert sharded.records_read == bitmap.records_read
+            assert sharded.itemsets_counted == bitmap.itemsets_counted
+
+
+class TestDeadline:
+    def test_expired_deadline_aborts_serial(self):
+        with ShardedCounter(use_processes=False) as counter:
+            counter.deadline = time.perf_counter() - 1.0
+            with pytest.raises(CountingDeadline):
+                counter.count(GROUND_TRUTH_DB, [(1,)])
+
+    def test_expired_deadline_aborts_before_dispatch(self):
+        counter = ShardedCounter(num_shards=2)
+        try:
+            counter.count(GROUND_TRUTH_DB, [(1,)])
+            counter.deadline = time.perf_counter() - 1.0
+            with pytest.raises(CountingDeadline):
+                counter.count(GROUND_TRUTH_DB, [(2,)])
+        finally:
+            counter.close()
+
+    def test_mid_pass_deadline_drops_worker_pool(self):
+        counter = ShardedCounter(num_shards=2)
+        try:
+            counter.count(GROUND_TRUTH_DB, [(1,)])
+            # expire the deadline between dispatch and collection: the
+            # poll loop must drop the pool so stale replies cannot poison
+            # the next pass
+            counter.deadline = time.perf_counter() - 1.0
+            with pytest.raises(CountingDeadline):
+                counter._count_in_workers([(2,)])
+            assert counter.worker_pids == []
+            counter.deadline = None
+            assert counter.count(GROUND_TRUTH_DB, [(2,)]) == {
+                (2,): EXPECTED[(2,)]
+            }
+        finally:
+            counter.close()

@@ -1,0 +1,191 @@
+"""Unit tests for the packed vertical-bitmap index (``repro.db.vertical``)."""
+
+import time
+
+import pytest
+
+from repro.db.counting import CountingDeadline, get_counter
+from repro.db.transaction_db import TransactionDatabase
+from repro.db.vertical import (
+    HAVE_NUMPY,
+    IntBitmapIndex,
+    PackedCounter,
+    PrefixIntersector,
+    build_index,
+    popcount,
+)
+
+if HAVE_NUMPY:
+    from repro.db.vertical import PackedBitmapIndex
+
+TRANSACTIONS = [[1, 2, 3], [1, 2], [2, 3], [3], []]
+GROUND_TRUTH = {
+    (): 5,
+    (1,): 2,
+    (2,): 3,
+    (3,): 3,
+    (1, 2): 2,
+    (1, 3): 1,
+    (2, 3): 2,
+    (1, 2, 3): 1,
+    (9,): 0,
+    (1, 9): 0,
+}
+
+
+def both_indexes():
+    indexes = [IntBitmapIndex.from_transactions(TRANSACTIONS)]
+    if HAVE_NUMPY:
+        indexes.append(PackedBitmapIndex.from_transactions(TRANSACTIONS))
+    return indexes
+
+
+@pytest.mark.parametrize("index", both_indexes(), ids=lambda i: type(i).__name__)
+class TestIndexCounts:
+    def test_ground_truth(self, index):
+        candidates = list(GROUND_TRUTH)
+        assert index.counts(candidates) == [GROUND_TRUTH[c] for c in candidates]
+
+    def test_num_rows(self, index):
+        assert index.num_rows == len(TRANSACTIONS)
+
+    def test_tiny_chunks_agree(self, index):
+        candidates = list(GROUND_TRUTH)
+        expected = index.counts(candidates)
+        assert index.counts(candidates, chunk_size=1) == expected
+        assert index.counts(candidates, chunk_size=3) == expected
+
+    def test_empty_candidate_list(self, index):
+        assert index.counts([]) == []
+
+    def test_deadline_check_is_invoked(self, index):
+        calls = []
+        index.counts(list(GROUND_TRUTH), deadline_check=lambda: calls.append(1))
+        assert calls
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="requires NumPy")
+class TestPackedIndex:
+    def test_round_trip_matches_int_bitmaps(self):
+        packed = PackedBitmapIndex.from_transactions(TRANSACTIONS)
+        plain = IntBitmapIndex.from_transactions(TRANSACTIONS)
+        candidates = list(GROUND_TRUTH)
+        assert packed.counts(candidates) == plain.counts(candidates)
+
+    def test_word_boundaries(self):
+        # 64/65 rows straddle the packing word boundary
+        for rows in (1, 63, 64, 65, 130):
+            transactions = [[1] if t % 2 == 0 else [2] for t in range(rows)]
+            index = PackedBitmapIndex.from_transactions(transactions)
+            assert index.num_words == max(1, (rows + 63) // 64)
+            assert index.counts([(1,), (2,), (1, 2), ()]) == [
+                (rows + 1) // 2,
+                rows // 2,
+                0,
+                rows,
+            ]
+
+    def test_from_database_reuses_item_bitmaps(self):
+        db = TransactionDatabase(TRANSACTIONS)
+        index = PackedBitmapIndex.from_database(db)
+        assert index.counts([(2, 3)]) == [2]
+
+    def test_long_candidate_from_mfcs(self):
+        # pass-1 MFCS candidates can span the whole universe
+        universe = list(range(200))
+        index = PackedBitmapIndex.from_transactions(
+            [universe, universe[:50]], universe
+        )
+        assert index.counts([tuple(universe)]) == [1]
+
+    def test_shared_prefix_path_matches_generic(self):
+        # >=256 candidates of length 3 routes through the levelwise
+        # prefix-dedup path; verify against the naive engine
+        transactions = [[t % 7, t % 5 + 10, t % 3 + 20] for t in range(100)]
+        db = TransactionDatabase(transactions)
+        candidates = sorted(
+            {
+                (a, b + 10, c + 20)
+                for a in range(7)
+                for b in range(5)
+                for c in range(3)
+            }
+        ) * 2
+        expected = get_counter("naive").count(db, candidates)
+        index = PackedBitmapIndex.from_database(db)
+        actual = dict(zip(candidates, index.counts(candidates)))
+        assert actual == expected
+
+    def test_non_table_items_fall_back_to_dict_mapping(self):
+        # huge item ids exceed MAX_TABLE_ITEM: the O(1) lookup table is
+        # skipped but counting still works
+        huge = PackedBitmapIndex.MAX_TABLE_ITEM + 5
+        index = PackedBitmapIndex.from_transactions([[1, huge], [huge]])
+        assert index._row_table is None
+        assert index.counts([(1,), (huge,), (1, huge)]) == [1, 2, 1]
+
+
+class TestPrefixIntersector:
+    def lookup(self, item):
+        return {1: 0b0111, 2: 0b0011, 3: 0b0101}.get(item)
+
+    def test_intersections_and_reuse(self):
+        cache = PrefixIntersector(self.lookup, lambda a, b: a & b, 0b1111)
+        assert cache.intersection((1, 2)) == 0b0011
+        assert cache.intersection((1, 2, 3)) == 0b0001
+        # (1, 2) was reused from the stack; only item 3 was combined anew
+        assert cache.reused == 2
+        assert cache.intersections == 3
+
+    def test_unknown_item_poisons_candidate_only(self):
+        cache = PrefixIntersector(self.lookup, lambda a, b: a & b, 0b1111)
+        assert cache.intersection((1, 9)) is None
+        assert cache.intersection((2,)) == 0b0011
+
+    def test_empty_candidate_is_top(self):
+        cache = PrefixIntersector(self.lookup, lambda a, b: a & b, 0b1111)
+        assert cache.intersection(()) == 0b1111
+
+
+class TestBuildIndex:
+    def test_force_python(self):
+        index = build_index(TRANSACTIONS, force_python=True)
+        assert isinstance(index, IntBitmapIndex)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires NumPy")
+    def test_prefers_numpy(self):
+        index = build_index(TRANSACTIONS)
+        assert isinstance(index, PackedBitmapIndex)
+
+
+class TestPackedCounter:
+    def test_index_cached_per_database(self):
+        counter = PackedCounter()
+        db = TransactionDatabase(TRANSACTIONS)
+        counter.count(db, [(1,)])
+        first = counter._index
+        counter.count(db, [(2,)])
+        assert counter._index is first
+        other = TransactionDatabase([[5]])
+        counter.count(other, [(5,)])
+        assert counter._index is not first
+
+    def test_force_python_counter_matches(self):
+        db = TransactionDatabase(TRANSACTIONS)
+        candidates = list(GROUND_TRUTH)
+        assert (
+            PackedCounter(force_python=True).count(db, candidates)
+            == GROUND_TRUTH
+        )
+
+    def test_expired_deadline_aborts(self):
+        counter = PackedCounter()
+        counter.deadline = time.perf_counter() - 1.0
+        with pytest.raises(CountingDeadline):
+            counter.count(TransactionDatabase(TRANSACTIONS), [(1,)])
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount((1 << 200) - 1) == 200
