@@ -10,7 +10,7 @@ Quick start::
 
     db = TransactionDatabase([[1, 2, 3], [1, 2], [2, 3], [1, 2, 3]])
     result = pincer_search(db, min_support=0.5)
-    print(result.sorted_mfs())
+    result.sorted_mfs()   # -> [(1, 2, 3)]
 
 The public surface:
 
@@ -23,7 +23,9 @@ The public surface:
   benchmark generator;
 * :func:`rules_from_mfs` / :func:`generate_rules` — association-rule
   generation (stage 2), including the paper's MFS-first strategy;
-* :mod:`repro.bench` — the harness regenerating the paper's Figures 3-4.
+* :mod:`repro.bench` — the harness regenerating the paper's Figures 3-4;
+* :mod:`repro.obs` — span tracing, metrics, and run logging
+  (:func:`capture` builds the ``obs`` handle every miner accepts).
 """
 
 from .algorithms.apriori import Apriori, apriori
@@ -45,6 +47,7 @@ from .db.counting import available_engines, get_counter
 from .db.disk import DiskTransactionDatabase
 from .db.io import load, save
 from .db.transaction_db import TransactionDatabase
+from .obs import Instrumentation, capture, configure_logging, get_logger
 from .rules.from_mfs import rules_from_mfs
 from .rules.generation import AssociationRule, generate_rules, interesting_rules
 
@@ -56,6 +59,7 @@ __all__ = [
     "Apriori",
     "AssociationRule",
     "DiskTransactionDatabase",
+    "Instrumentation",
     "Itemset",
     "MFCS",
     "MiningResult",
@@ -78,9 +82,12 @@ __all__ = [
     "brute_force",
     "brute_force_frequents",
     "brute_force_mfs",
+    "capture",
+    "configure_logging",
     "generate",
     "generate_rules",
     "get_counter",
+    "get_logger",
     "interesting_rules",
     "itemset",
     "load",

@@ -31,6 +31,7 @@ from ..db.counting import (
     select_engine,
 )
 from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
 
 
 class Apriori:
@@ -49,6 +50,7 @@ class Apriori:
         min_count: Optional[int] = None,
         counter: Optional[SupportCounter] = None,
         time_budget: Optional[float] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> MiningResult:
         """Mine the maximum frequent set (by first mining *all* frequents).
 
@@ -66,6 +68,8 @@ class Apriori:
             if counter is not None
             else get_counter(select_engine(db, self._engine))
         )
+        obs = obs if obs is not None else NOOP
+        engine.obs = obs
         started = time.perf_counter()
 
         stats = MiningStats(algorithm=self.name)
@@ -77,51 +81,85 @@ class Apriori:
         if time_budget is not None:
             engine.deadline = started + time_budget
 
-        while candidates:
-            k += 1
-            elapsed = time.perf_counter() - started
-            if time_budget is not None and elapsed > time_budget:
-                stats.seconds = elapsed
-                raise MiningTimeout(self.name, elapsed, stats)
-            pass_stats = stats.new_pass(k)
-            pass_started = time.perf_counter()
-
-            try:
-                counts = engine.count(db, candidates)
-            except CountingDeadline:
-                stats.passes.pop()  # the aborted pass never finished
+        run_span = obs.span(
+            "run",
+            algorithm=self.name,
+            engine=engine.name,
+            num_transactions=len(db),
+            min_support_count=threshold,
+        )
+        with run_span:
+            while candidates:
+                k += 1
                 elapsed = time.perf_counter() - started
-                stats.seconds = elapsed
-                raise MiningTimeout(self.name, elapsed, stats) from None
-            supports.update(counts)
-            pass_stats.bottom_up_candidates = len(candidates)
+                if time_budget is not None and elapsed > time_budget:
+                    stats.seconds = elapsed
+                    raise MiningTimeout(self.name, elapsed, stats)
+                pass_stats = stats.new_pass(k)
+                pass_started = time.perf_counter()
 
-            level_frequents = sorted(
-                candidate
-                for candidate in candidates
-                if counts[candidate] >= threshold
-            )
-            pass_stats.frequent_found = len(level_frequents)
-            pass_stats.infrequent_found = len(candidates) - len(level_frequents)
-            all_frequents.update(level_frequents)
+                with obs.span("pass", k=k) as pass_span:
+                    try:
+                        counts = engine.count(db, candidates)
+                    except CountingDeadline:
+                        stats.passes.pop()  # the aborted pass never finished
+                        elapsed = time.perf_counter() - started
+                        stats.seconds = elapsed
+                        raise MiningTimeout(self.name, elapsed, stats) from None
+                    supports.update(counts)
+                    pass_stats.bottom_up_candidates = len(candidates)
 
-            elapsed = time.perf_counter() - started
-            if time_budget is not None and elapsed > time_budget:
-                pass_stats.seconds = time.perf_counter() - pass_started
-                stats.seconds = elapsed
-                raise MiningTimeout(self.name, elapsed, stats)
-            try:
-                joined = apriori_join(level_frequents, deadline=engine.deadline)
-            except CountingDeadline:
-                elapsed = time.perf_counter() - started
-                stats.seconds = elapsed
-                raise MiningTimeout(self.name, elapsed, stats) from None
-            candidates = sorted(apriori_prune(joined, set(level_frequents)))
-            pass_stats.seconds = time.perf_counter() - pass_started
+                    level_frequents = sorted(
+                        candidate
+                        for candidate in candidates
+                        if counts[candidate] >= threshold
+                    )
+                    pass_stats.frequent_found = len(level_frequents)
+                    pass_stats.infrequent_found = len(candidates) - len(
+                        level_frequents
+                    )
+                    all_frequents.update(level_frequents)
 
-        engine.deadline = None
-        stats.seconds = time.perf_counter() - started
-        stats.records_read = engine.records_read
+                    elapsed = time.perf_counter() - started
+                    if time_budget is not None and elapsed > time_budget:
+                        pass_stats.seconds = time.perf_counter() - pass_started
+                        stats.seconds = elapsed
+                        raise MiningTimeout(self.name, elapsed, stats)
+                    with obs.span("generate"):
+                        try:
+                            joined = apriori_join(
+                                level_frequents, deadline=engine.deadline
+                            )
+                        except CountingDeadline:
+                            elapsed = time.perf_counter() - started
+                            stats.seconds = elapsed
+                            raise MiningTimeout(
+                                self.name, elapsed, stats
+                            ) from None
+                        candidates = sorted(
+                            apriori_prune(joined, set(level_frequents))
+                        )
+                    pass_stats.seconds = time.perf_counter() - pass_started
+                    if obs.enabled:
+                        pass_span.set(**pass_stats.to_dict())
+                        obs.counter("miner.candidates.bottom_up").inc(
+                            pass_stats.bottom_up_candidates
+                        )
+                        obs.counter("miner.frequent_found").inc(
+                            pass_stats.frequent_found
+                        )
+
+            engine.deadline = None
+            stats.seconds = time.perf_counter() - started
+            stats.records_read = engine.records_read
+            if obs.enabled:
+                run_span.set(
+                    passes=stats.num_passes,
+                    total_candidates=stats.total_candidates,
+                    mfs_size=len(maximal_elements(all_frequents)),
+                    records_read=stats.records_read,
+                )
+                obs.counter("miner.runs").inc()
         return MiningResult(
             mfs=frozenset(maximal_elements(all_frequents)),
             supports=supports,

@@ -33,6 +33,7 @@ from ..core.result import MiningResult
 from ..core.stats import MiningStats
 from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
 from .apriori import Apriori
 
 
@@ -54,6 +55,7 @@ class PartitionMiner:
         *,
         min_count: Optional[int] = None,
         counter: Optional[SupportCounter] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> MiningResult:
         """Discover the maximum frequent set with two database reads."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
@@ -62,46 +64,70 @@ class PartitionMiner:
             if counter is not None
             else get_counter(select_engine(db, self._engine))
         )
+        obs = obs if obs is not None else NOOP
+        engine.obs = obs
         started = time.perf_counter()
         stats = MiningStats(algorithm=self.name)
 
-        # ----- phase I: local mining (counted as one read of the data)
-        phase1 = stats.new_pass(1)
-        phase1_started = time.perf_counter()
-        global_candidates: Set[Itemset] = set()
-        for partition in self._partitions(db):
-            if len(partition) == 0:
-                continue
-            local_threshold = max(
-                1,
-                -(-threshold * len(partition) // len(db)),  # ceil division
-            )
-            local = Apriori(engine=self._engine).mine(
-                partition, min_count=local_threshold
-            )
-            global_candidates.update(
+        run_span = obs.span(
+            "run",
+            algorithm=self.name,
+            engine=engine.name,
+            num_transactions=len(db),
+            min_support_count=threshold,
+        )
+        with run_span:
+            # ----- phase I: local mining (counted as one read of the data)
+            phase1 = stats.new_pass(1)
+            phase1_started = time.perf_counter()
+            global_candidates: Set[Itemset] = set()
+            with obs.span("pass", k=1, phase="local-mining") as phase1_span:
+                for partition in self._partitions(db):
+                    if len(partition) == 0:
+                        continue
+                    local_threshold = max(
+                        1,
+                        -(-threshold * len(partition) // len(db)),  # ceil div
+                    )
+                    local = Apriori(engine=self._engine).mine(
+                        partition, min_count=local_threshold
+                    )
+                    global_candidates.update(
+                        itemset_
+                        for itemset_, count in local.supports.items()
+                        if count >= local_threshold
+                    )
+                phase1.bottom_up_candidates = len(global_candidates)
+                phase1.seconds = time.perf_counter() - phase1_started
+                stats.records_read += len(db)
+                if obs.enabled:
+                    phase1_span.set(**phase1.to_dict())
+
+            # ----- phase II: one global counting pass over the union
+            phase2 = stats.new_pass(2)
+            phase2_started = time.perf_counter()
+            with obs.span("pass", k=2, phase="global-count") as phase2_span:
+                supports = dict(engine.count(db, sorted(global_candidates)))
+                phase2.bottom_up_candidates = len(global_candidates)
+                phase2.seconds = time.perf_counter() - phase2_started
+                if obs.enabled:
+                    phase2_span.set(**phase2.to_dict())
+
+            frequents = {
                 itemset_
-                for itemset_, count in local.supports.items()
-                if count >= local_threshold
-            )
-        phase1.bottom_up_candidates = len(global_candidates)
-        phase1.seconds = time.perf_counter() - phase1_started
-        stats.records_read += len(db)
-
-        # ----- phase II: one global counting pass over the union
-        phase2 = stats.new_pass(2)
-        phase2_started = time.perf_counter()
-        supports = dict(engine.count(db, sorted(global_candidates)))
-        phase2.bottom_up_candidates = len(global_candidates)
-        phase2.seconds = time.perf_counter() - phase2_started
-
-        frequents = {
-            itemset_
-            for itemset_, count in supports.items()
-            if count >= threshold
-        }
-        stats.seconds = time.perf_counter() - started
-        stats.records_read += engine.records_read
+                for itemset_, count in supports.items()
+                if count >= threshold
+            }
+            stats.seconds = time.perf_counter() - started
+            stats.records_read += engine.records_read
+            if obs.enabled:
+                run_span.set(
+                    passes=stats.num_passes,
+                    total_candidates=stats.total_candidates,
+                    mfs_size=len(maximal_elements(frequents)),
+                    records_read=stats.records_read,
+                )
+                obs.counter("miner.runs").inc()
         return MiningResult(
             mfs=frozenset(maximal_elements(frequents)),
             supports=supports,

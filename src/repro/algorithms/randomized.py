@@ -27,6 +27,7 @@ from ..core.result import MiningResult
 from ..core.stats import MiningStats
 from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
 
 
 class RandomizedMFS:
@@ -55,6 +56,7 @@ class RandomizedMFS:
         *,
         min_count: Optional[int] = None,
         counter: Optional[SupportCounter] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> MiningResult:
         """Discover (a subset of) the maximum frequent set by restarts.
 
@@ -67,38 +69,59 @@ class RandomizedMFS:
             if counter is not None
             else get_counter(select_engine(db, self._engine))
         )
+        obs = obs if obs is not None else NOOP
+        engine.obs = obs
         rng = random.Random(self._seed)
         started = time.perf_counter()
         stats = MiningStats(algorithm=self.name)
 
-        supports = dict(
-            engine.count(db, [(item,) for item in db.universe])
+        run_span = obs.span(
+            "run",
+            algorithm=self.name,
+            engine=engine.name,
+            num_transactions=len(db),
+            min_support_count=threshold,
         )
-        frequent_items = [
-            item for item in db.universe if supports[(item,)] >= threshold
-        ]
-        discovered: Set[Itemset] = set()
-        stall = 0
-        restarts = 0
-        while (
-            frequent_items
-            and restarts < self._max_restarts
-            and stall < self._stall_limit
-        ):
-            restarts += 1
-            maximal = self._random_maximal_extension(
-                db, engine, supports, threshold, frequent_items, rng
-            )
-            if maximal in discovered:
-                stall += 1
-            else:
-                discovered.add(maximal)
-                stall = 0
+        with run_span:
+            with obs.span("pass", k=1):
+                supports = dict(
+                    engine.count(db, [(item,) for item in db.universe])
+                )
+            frequent_items = [
+                item for item in db.universe if supports[(item,)] >= threshold
+            ]
+            discovered: Set[Itemset] = set()
+            stall = 0
+            restarts = 0
+            while (
+                frequent_items
+                and restarts < self._max_restarts
+                and stall < self._stall_limit
+            ):
+                restarts += 1
+                maximal = self._random_maximal_extension(
+                    db, engine, supports, threshold, frequent_items, rng
+                )
+                if maximal in discovered:
+                    stall += 1
+                else:
+                    discovered.add(maximal)
+                    stall = 0
 
-        stats.seconds = time.perf_counter() - started
-        stats.records_read = engine.records_read
-        pass_stats = stats.new_pass(1)
-        pass_stats.bottom_up_candidates = len(supports)
+            stats.seconds = time.perf_counter() - started
+            stats.records_read = engine.records_read
+            pass_stats = stats.new_pass(1)
+            pass_stats.bottom_up_candidates = len(supports)
+            if obs.enabled:
+                run_span.set(
+                    passes=stats.num_passes,
+                    total_candidates=stats.total_candidates,
+                    mfs_size=len(discovered),
+                    records_read=stats.records_read,
+                    restarts=restarts,
+                )
+                obs.counter("miner.runs").inc()
+                obs.counter("miner.restarts").inc(restarts)
         return MiningResult(
             mfs=frozenset(discovered),
             supports=supports,

@@ -36,7 +36,11 @@ from ..core.result import MiningResult
 from ..core.stats import MiningStats
 from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
+from ..obs.logsetup import get_logger
 from .apriori import Apriori
+
+logger = get_logger("algorithms.sampling")
 
 
 class SamplingMiner:
@@ -79,6 +83,7 @@ class SamplingMiner:
         *,
         min_count: Optional[int] = None,
         counter: Optional[SupportCounter] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> MiningResult:
         """Mine the maximum frequent set via a sample plus verification."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
@@ -87,62 +92,90 @@ class SamplingMiner:
             if counter is not None
             else get_counter(select_engine(db, self._engine))
         )
+        obs = obs if obs is not None else NOOP
+        engine.obs = obs
         started = time.perf_counter()
         stats = MiningStats(algorithm=self.name)
 
-        sample = self._draw_sample(db)
-        # the in-memory sample phase is free in the paper's I/O model;
-        # mine it with Apriori at the lowered threshold
-        sample_counter = get_counter(select_engine(sample, self._engine))
-        sample_threshold = max(
-            1, int(self._lowering * fraction * max(1, len(sample)))
+        run_span = obs.span(
+            "run",
+            algorithm=self.name,
+            engine=engine.name,
+            num_transactions=len(db),
+            min_support_count=threshold,
         )
-        sample_result = Apriori(engine=self._engine).mine(
-            sample, min_count=sample_threshold, counter=sample_counter
-        )
-        sample_frequents: Set[Itemset] = {
-            itemset_
-            for itemset_, count in sample_result.supports.items()
-            if count >= sample_threshold
-        }
-
-        # one full-database pass: sample frequents + their negative border
-        border = negative_border(
-            maximal_elements(sample_frequents) if sample_frequents else [],
-            db.universe,
-        )
-        to_verify = sorted(sample_frequents | border)
-        pass_stats = stats.new_pass(1)
-        pass_started = time.perf_counter()
-        supports = dict(engine.count(db, to_verify))
-        pass_stats.bottom_up_candidates = len(to_verify)
-        pass_stats.seconds = time.perf_counter() - pass_started
-
-        frequents = {
-            itemset_
-            for itemset_, count in supports.items()
-            if count >= threshold
-        }
-        missed_border = frequents & border
-        if missed_border:
-            # a border itemset is frequent: the sample missed part of the
-            # lattice; fall back to an exact run (counts already known are
-            # reused through the shared engine cacheless API by seeding)
-            fallback = Apriori(engine=self._engine).mine(
-                db, min_count=threshold, counter=engine
+        with run_span:
+            sample = self._draw_sample(db)
+            # the in-memory sample phase is free in the paper's I/O model;
+            # mine it with Apriori at the lowered threshold
+            sample_counter = get_counter(select_engine(sample, self._engine))
+            sample_threshold = max(
+                1, int(self._lowering * fraction * max(1, len(sample)))
             )
-            fallback.stats.algorithm = self.name
-            for pass_done in fallback.stats.passes:
-                stats.passes.append(pass_done)
-            supports.update(fallback.supports)
+            with obs.span("generate", sample_size=len(sample)):
+                sample_result = Apriori(engine=self._engine).mine(
+                    sample, min_count=sample_threshold, counter=sample_counter
+                )
+                sample_frequents: Set[Itemset] = {
+                    itemset_
+                    for itemset_, count in sample_result.supports.items()
+                    if count >= sample_threshold
+                }
+
+            # one full-database pass: sample frequents + negative border
+            border = negative_border(
+                maximal_elements(sample_frequents) if sample_frequents else [],
+                db.universe,
+            )
+            to_verify = sorted(sample_frequents | border)
+            pass_stats = stats.new_pass(1)
+            pass_started = time.perf_counter()
+            with obs.span("pass", k=1) as pass_span:
+                supports = dict(engine.count(db, to_verify))
+                pass_stats.bottom_up_candidates = len(to_verify)
+                pass_stats.seconds = time.perf_counter() - pass_started
+                if obs.enabled:
+                    pass_span.set(**pass_stats.to_dict())
+
             frequents = {
                 itemset_
                 for itemset_, count in supports.items()
                 if count >= threshold
             }
+            missed_border = frequents & border
+            if missed_border:
+                # a border itemset is frequent: the sample missed part of
+                # the lattice; fall back to an exact run (counts already
+                # known are reused through the shared engine)
+                logger.info(
+                    "sample missed %d border itemsets; falling back to a "
+                    "full Apriori run", len(missed_border),
+                )
+                with obs.span("recover", missed=len(missed_border)):
+                    fallback = Apriori(engine=self._engine).mine(
+                        db, min_count=threshold, counter=engine
+                    )
+                fallback.stats.algorithm = self.name
+                for pass_done in fallback.stats.passes:
+                    stats.passes.append(pass_done)
+                supports.update(fallback.supports)
+                frequents = {
+                    itemset_
+                    for itemset_, count in supports.items()
+                    if count >= threshold
+                }
 
-        stats.seconds = time.perf_counter() - started
-        stats.records_read = engine.records_read
+            stats.seconds = time.perf_counter() - started
+            stats.records_read = engine.records_read
+            if obs.enabled:
+                run_span.set(
+                    passes=stats.num_passes,
+                    total_candidates=stats.total_candidates,
+                    mfs_size=len(maximal_elements(frequents)),
+                    records_read=stats.records_read,
+                    missed_border=len(missed_border),
+                )
+                obs.counter("miner.runs").inc()
         return MiningResult(
             mfs=frozenset(maximal_elements(frequents)),
             supports=supports,

@@ -29,6 +29,7 @@ from ..core.result import MiningResult
 from ..core.stats import MiningStats
 from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
 
 
 class TopDown:
@@ -52,6 +53,7 @@ class TopDown:
         *,
         min_count: Optional[int] = None,
         counter: Optional[SupportCounter] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> MiningResult:
         """Discover the maximum frequent set top-down."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
@@ -60,6 +62,8 @@ class TopDown:
             if counter is not None
             else get_counter(select_engine(db, self._engine))
         )
+        obs = obs if obs is not None else NOOP
+        engine.obs = obs
         started = time.perf_counter()
 
         stats = MiningStats(algorithm=self.name)
@@ -68,37 +72,71 @@ class TopDown:
         frontier = MFCS.for_universe(db.universe)
         pass_number = 0
 
-        while len(frontier) > 0:
-            pass_number += 1
-            if len(frontier) > self._max_frontier:
-                raise RuntimeError(
-                    "top-down frontier exploded to %d elements; this search "
-                    "direction is infeasible for this database" % len(frontier)
+        run_span = obs.span(
+            "run",
+            algorithm=self.name,
+            engine=engine.name,
+            num_transactions=len(db),
+            min_support_count=threshold,
+        )
+        with run_span:
+            while len(frontier) > 0:
+                pass_number += 1
+                if len(frontier) > self._max_frontier:
+                    raise RuntimeError(
+                        "top-down frontier exploded to %d elements; this "
+                        "search direction is infeasible for this database"
+                        % len(frontier)
+                    )
+                pass_stats = stats.new_pass(pass_number)
+                pass_started = time.perf_counter()
+
+                with obs.span("pass", k=pass_number) as pass_span:
+                    elements: List[Itemset] = sorted(frontier)
+                    uncounted = [
+                        element
+                        for element in elements
+                        if element not in supports
+                    ]
+                    supports.update(engine.count(db, uncounted))
+                    pass_stats.mfcs_candidates = len(uncounted)
+
+                    with obs.span("prune"):
+                        infrequent: List[Itemset] = []
+                        for element in elements:
+                            if supports[element] >= threshold:
+                                mfs.add(element)
+                                frontier.remove(element)
+                                pass_stats.maximal_found += 1
+                            else:
+                                infrequent.append(element)
+                    with obs.span("mfcs_gen"):
+                        frontier.update(infrequent, protected=mfs)
+                    pass_stats.mfcs_size_after = len(frontier)
+                    pass_stats.seconds = time.perf_counter() - pass_started
+                    if pass_stats.total_candidates == 0:
+                        # cache-only iteration: no database read
+                        stats.passes.pop()
+                    if obs.enabled:
+                        pass_span.set(**pass_stats.to_dict())
+                        obs.counter("miner.candidates.mfcs").inc(
+                            pass_stats.mfcs_candidates
+                        )
+                        obs.counter("miner.maximal_found").inc(
+                            pass_stats.maximal_found
+                        )
+                        obs.gauge("mfcs.size").set(pass_stats.mfcs_size_after)
+
+            stats.seconds = time.perf_counter() - started
+            stats.records_read = engine.records_read
+            if obs.enabled:
+                run_span.set(
+                    passes=stats.num_passes,
+                    total_candidates=stats.total_candidates,
+                    mfs_size=len(mfs),
+                    records_read=stats.records_read,
                 )
-            pass_stats = stats.new_pass(pass_number)
-            pass_started = time.perf_counter()
-
-            elements: List[Itemset] = sorted(frontier)
-            uncounted = [element for element in elements if element not in supports]
-            supports.update(engine.count(db, uncounted))
-            pass_stats.mfcs_candidates = len(uncounted)
-
-            infrequent: List[Itemset] = []
-            for element in elements:
-                if supports[element] >= threshold:
-                    mfs.add(element)
-                    frontier.remove(element)
-                    pass_stats.maximal_found += 1
-                else:
-                    infrequent.append(element)
-            frontier.update(infrequent, protected=mfs)
-            pass_stats.mfcs_size_after = len(frontier)
-            pass_stats.seconds = time.perf_counter() - pass_started
-            if pass_stats.total_candidates == 0:
-                stats.passes.pop()  # cache-only iteration: no database read
-
-        stats.seconds = time.perf_counter() - started
-        stats.records_read = engine.records_read
+                obs.counter("miner.runs").inc()
         return MiningResult(
             mfs=frozenset(mfs),
             supports=supports,

@@ -123,6 +123,20 @@ def run_counting_benchmark(
                 "passes": len(batches),
                 "itemsets_counted": counter.itemsets_counted,
             }
+            # prefix-intersection cache accounting (bitmap/packed engines;
+            # values cover the last timed repeat — reset() zeroes them)
+            hits = getattr(counter, "prefix_cache_hits", None)
+            if hits is not None:
+                measured[name]["prefix_cache_hits"] = hits
+                measured[name]["prefix_cache_misses"] = (
+                    counter.prefix_cache_misses
+                )
+            if isinstance(counter, ShardedCounter):
+                measured[name]["num_shards"] = len(counter.shard_rows)
+                measured[name]["last_shard_seconds"] = [
+                    round(shard_seconds, 6)
+                    for shard_seconds in counter.last_shard_seconds
+                ]
         finally:
             close = getattr(counter, "close", None)
             if close is not None:

@@ -18,6 +18,7 @@ orders of magnitude" phrasing.
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 from dataclasses import dataclass
@@ -27,6 +28,10 @@ from ..algorithms.apriori import Apriori
 from ..core.pincer import PincerSearch
 from ..core.result import MiningResult, MiningTimeout
 from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
+from ..obs.logsetup import get_logger
+
+logger = get_logger("bench.harness")
 
 #: Default per-miner wall-clock budget (seconds) for one cell; override
 #: with the REPRO_BENCH_BUDGET environment variable.  Raising it tightens
@@ -126,34 +131,48 @@ def run_cell(
     min_support_percent: float,
     miners: Optional[Dict[str, MinerFactory]] = None,
     time_budget: Optional[float] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> List[CellResult]:
     """Run every miner on one cell and return their measurements.
 
     The finishing miners' MFS outputs are cross-checked — a disagreement
     aborts the benchmark, because timing numbers for inconsistent answers
     are meaningless.  ``time_budget`` applies to miners whose ``mine``
-    accepts it (Apriori); Pincer-Search is expected to finish.
+    accepts it (Apriori); Pincer-Search is expected to finish.  ``obs``
+    wraps each miner run in a ``cell`` span (miners whose ``mine`` takes
+    the keyword also trace their own passes underneath it).
     """
     miners = miners if miners is not None else PAPER_MINERS
+    obs = obs if obs is not None else NOOP
     results: List[CellResult] = []
     reference_mfs = None
     for name, factory in miners.items():
         miner = factory()
+        kwargs = {}
+        if time_budget is not None and _accepts_time_budget(miner):
+            kwargs["time_budget"] = time_budget
+        if obs.enabled and _accepts_obs(miner):
+            kwargs["obs"] = obs
         started = time.perf_counter()
-        try:
-            if time_budget is not None and _accepts_time_budget(miner):
-                result = miner.mine(
-                    db, min_support_percent / 100.0, time_budget=time_budget
+        with obs.span(
+            "cell",
+            database=database_name,
+            min_support_percent=min_support_percent,
+            miner=name,
+        ):
+            try:
+                result = miner.mine(db, min_support_percent / 100.0, **kwargs)
+            except MiningTimeout as timeout:
+                logger.info(
+                    "%s DNF on %s at %g%% after %.1fs",
+                    name, database_name, min_support_percent, timeout.seconds,
                 )
-            else:
-                result = miner.mine(db, min_support_percent / 100.0)
-        except MiningTimeout as timeout:
-            results.append(
-                CellResult.from_timeout(
-                    database_name, min_support_percent, timeout
+                results.append(
+                    CellResult.from_timeout(
+                        database_name, min_support_percent, timeout
+                    )
                 )
-            )
-            continue
+                continue
         elapsed = time.perf_counter() - started
         if reference_mfs is None:
             reference_mfs = result.mfs
@@ -162,6 +181,11 @@ def run_cell(
                 "%s disagrees with %s on %s at %g%%"
                 % (name, next(iter(miners)), database_name, min_support_percent)
             )
+        logger.debug(
+            "%s on %s at %g%%: %.3fs, %d passes",
+            name, database_name, min_support_percent, elapsed,
+            result.stats.num_passes,
+        )
         results.append(
             CellResult.from_result(
                 database_name, min_support_percent, result, elapsed
@@ -174,19 +198,34 @@ def _accepts_time_budget(miner: object) -> bool:
     return isinstance(miner, Apriori)
 
 
+def _accepts_obs(miner: object) -> bool:
+    """Whether ``miner.mine`` takes the ``obs`` keyword.
+
+    Checked by signature rather than by type so the harness keeps working
+    with the plain-callable miner factories tests inject.
+    """
+    try:
+        return "obs" in inspect.signature(miner.mine).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
 def run_sweep(
     db: TransactionDatabase,
     database_name: str,
     supports_percent: Sequence[float],
     miners: Optional[Dict[str, MinerFactory]] = None,
     time_budget: Optional[float] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> List[CellResult]:
     """Run a whole support sweep (one figure panel row group)."""
+    obs = obs if obs is not None else NOOP
     rows: List[CellResult] = []
-    for support in supports_percent:
-        rows.extend(
-            run_cell(db, database_name, support, miners, time_budget)
-        )
+    with obs.span("sweep", database=database_name, cells=len(supports_percent)):
+        for support in supports_percent:
+            rows.extend(
+                run_cell(db, database_name, support, miners, time_budget, obs)
+            )
     return rows
 
 

@@ -26,6 +26,7 @@ from .datagen.configs import parse_name
 from .datagen.quest import QuestGenerator, generate
 from .db import io
 from .db.counting import available_engines
+from .obs import capture, configure_logging
 from .rules.from_mfs import rules_from_mfs
 from .rules.generation import interesting_rules
 
@@ -40,6 +41,24 @@ def _make_miner(name: str, engine: str):
     if name == "topdown":
         return TopDown(engine=engine)
     raise ValueError("unknown algorithm %r" % name)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL span trace of the run "
+        "(schema: python -m repro.obs.schema PATH)",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry as a JSON document",
+    )
+    group.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable stderr logging for the 'repro' logger hierarchy",
+    )
 
 
 def _add_mine_flags(parser: argparse.ArgumentParser) -> None:
@@ -81,7 +100,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_mine(args: argparse.Namespace) -> int:
     db = io.load(args.input)
     miner = _make_miner(args.algorithm, args.engine)
-    result = miner.mine(db, args.min_support / 100.0)
+    result = miner.mine(db, args.min_support / 100.0, obs=args.obs)
     print(result.stats.summary())
     print("maximum frequent set (%d itemsets):" % len(result.mfs))
     for member in result.sorted_mfs():
@@ -106,7 +125,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 def _cmd_rules(args: argparse.Namespace) -> int:
     db = io.load(args.input)
     miner = _make_miner(args.algorithm, args.engine)
-    result = miner.mine(db, args.min_support / 100.0)
+    result = miner.mine(db, args.min_support / 100.0, obs=args.obs)
     rules = rules_from_mfs(
         db, result, min_confidence=args.min_confidence / 100.0,
         depth=args.depth, engine=args.engine,
@@ -152,7 +171,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         tuple(args.min_support) if args.min_support else spec.supports_percent
     )
     budget = args.budget if args.budget is not None else bench_budget()
-    rows = run_sweep(db, spec.database, supports, time_budget=budget)
+    rows = run_sweep(
+        db, spec.database, supports, time_budget=budget, obs=args.obs
+    )
     title = "%s (|L|=%d, |D|=%d)\npaper: %s" % (
         spec.database, spec.num_patterns, len(db), spec.paper_expectation,
     )
@@ -187,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override |D| from the name",
     )
     gen.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(gen)
     gen.set_defaults(handler=_cmd_generate)
 
     mine = commands.add_parser("mine", help="discover the maximum frequent set")
@@ -194,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--show-passes", action="store_true", help="print per-pass stats"
     )
+    _add_obs_flags(mine)
     mine.set_defaults(handler=_cmd_mine)
 
     rules = commands.add_parser("rules", help="mine and emit association rules")
@@ -207,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rules.add_argument("--min-lift", type=float, default=0.0)
     rules.add_argument("--top", type=int, default=None)
+    _add_obs_flags(rules)
     rules.set_defaults(handler=_cmd_rules)
 
     keys = commands.add_parser(
@@ -217,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-header", action="store_true",
         help="treat the first row as data (columns get default names)",
     )
+    _add_obs_flags(keys)
     keys.set_defaults(handler=_cmd_keys)
 
     bench = commands.add_parser("bench", help="run a paper experiment")
@@ -243,13 +268,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, metavar="PATH",
         help="export the cells as CSV",
     )
+    _add_obs_flags(bench)
     bench.set_defaults(handler=_cmd_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    if args.log_level:
+        configure_logging(args.log_level)
+    obs = capture(
+        trace_path=args.trace,
+        metrics_path=args.metrics_out,
+        producer="pincer-cli",
+    )
+    args.obs = obs
+    try:
+        with obs.span("command", command=args.command):
+            return args.handler(args)
+    finally:
+        obs.finish()
 
 
 if __name__ == "__main__":

@@ -29,6 +29,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.logsetup import get_logger
+
+logger = get_logger("core.adaptive")
+
 
 @dataclass
 class AdaptivePolicy:
@@ -124,6 +128,7 @@ class AdaptivePolicy:
 
     def abandon(self) -> None:
         """Force permanent abandonment (called on a mid-update cap abort)."""
+        logger.info("MFCS-gen update blew past its size/work cap; abandoning")
         self._abandoned = True
 
     def keep_after_classification(
@@ -148,6 +153,12 @@ class AdaptivePolicy:
         if num_counted < self.min_ratio_sample:
             return True
         if num_frequent / num_counted < self.frequent_ratio_floor:
+            logger.info(
+                "pass %d frequent ratio %.4f below floor %.4f; "
+                "abandoning MFCS before the update",
+                pass_number, num_frequent / num_counted,
+                self.frequent_ratio_floor,
+            )
             self._abandoned = True
             return False
         return True
@@ -174,9 +185,17 @@ class AdaptivePolicy:
             self._futile_streak = 0
             return True
         if mfcs_size > self.mfcs_size_cap:
+            logger.info(
+                "pass %d: |MFCS|=%d over size cap %d; abandoning",
+                pass_number, mfcs_size, self.mfcs_size_cap,
+            )
             self._abandoned = True
             return False
         if mfcs_size > self.mfcs_ratio_cap * max(1, num_candidates):
+            logger.info(
+                "pass %d: |MFCS|=%d over %.1fx the %d candidates; abandoning",
+                pass_number, mfcs_size, self.mfcs_ratio_cap, num_candidates,
+            )
             self._abandoned = True
             return False
         if self.futile_passes:
@@ -185,6 +204,10 @@ class AdaptivePolicy:
             elif pass_number >= self.min_passes:
                 self._futile_streak += 1
                 if self._futile_streak >= self.futile_passes:
+                    logger.info(
+                        "pass %d: %d futile MFCS passes in a row; abandoning",
+                        pass_number, self._futile_streak,
+                    )
                     self._abandoned = True
                     return False
         return True

@@ -50,6 +50,11 @@ class MFCS:
 
     def __init__(self, elements: Iterable[Itemset] = ()) -> None:
         self._index = CoverIndex()
+        #: lifetime count of Observation-1 applications (infrequent
+        #: itemsets excluded) and of elements split by them — the
+        #: top-down work the trace/metrics layer reports per pass
+        self.exclusions = 0
+        self.splits = 0
         # longest-first insertion makes construction from an arbitrary
         # family keep only its maximal members
         for element in sorted(set(elements), key=len, reverse=True):
@@ -144,11 +149,13 @@ class MFCS:
         where one unit ≈ one item-mask lookup) implements the adaptive
         version's work cap; returns False when it ran out mid-split.
         """
+        self.exclusions += 1
         for element in self._index.supersets_of(infrequent):
             if budget is not None:
                 budget[0] -= len(element) * len(infrequent)
                 if budget[0] < 0:
                     return False
+            self.splits += 1
             self._index.discard(element)
             for item in infrequent:
                 replacement = without_item(element, item)
@@ -226,6 +233,7 @@ class MFCS:
         inclusion-monotone, so taking maximal survivors afterwards gives
         exactly the sequential MFCS-gen result.
         """
+        self.exclusions += len(items)
         replacements = []
         for element in self._index.members:
             if not any(item in items for item in element):
@@ -234,6 +242,7 @@ class MFCS:
                 budget[0] -= len(element)
                 if budget[0] < 0:
                     return False
+            self.splits += 1
             self._index.discard(element)
             replacements.append(
                 tuple(item for item in element if item not in items)

@@ -42,6 +42,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
+from ..obs.logsetup import get_logger
 from .adaptive import AdaptivePolicy, AlwaysMaintain
 from .candidates import apriori_join, first_level_candidates, generate_candidates
 from .cover import CoverIndex
@@ -50,6 +52,8 @@ from .lattice import maximal_elements
 from .mfcs import MFCS
 from .result import MiningResult
 from .stats import MiningStats, PassStats
+
+logger = get_logger("core.pincer")
 
 
 class PincerSearch:
@@ -111,11 +115,14 @@ class PincerSearch:
         *,
         min_count: Optional[int] = None,
         counter: Optional[SupportCounter] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> MiningResult:
         """Discover the maximum frequent set of ``db``.
 
         Exactly one of ``min_support`` (fraction of ``|D|``) and
-        ``min_count`` (absolute transactions) must be given.
+        ``min_count`` (absolute transactions) must be given.  ``obs``
+        (see :func:`repro.obs.capture`) enables span tracing and metrics
+        for the run; the default no-op instrumentation costs nothing.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
         engine = (
@@ -123,6 +130,8 @@ class PincerSearch:
             if counter is not None
             else get_counter(select_engine(db, self._engine))
         )
+        obs = obs if obs is not None else NOOP
+        engine.obs = obs
         policy = self._make_policy()
         started = time.perf_counter()
 
@@ -138,146 +147,211 @@ class PincerSearch:
         longest_maximal = 0
         k = 0
 
-        while maintaining and (candidates or len(mfcs) > 0):
-            k += 1
-            if k > 2 * db.num_items + 4:
-                # bottom-up needs ≤ n levels; the pure top-down descent of
-                # A1/A2 at most n more (one level per free pass)
-                raise AssertionError("pincer-search failed to terminate")
-            pass_stats = PassStats(pass_number=k)
-            pass_started = time.perf_counter()
-
-            # ----- one database read: C_k plus unclassified MFCS elements
-            mfcs_elements = sorted(mfcs)
-            uncounted_candidates = [c for c in candidates if c not in supports]
-            batch = dict.fromkeys(uncounted_candidates)
-            for element in mfcs_elements:
-                if element not in supports:
-                    batch[element] = None
-            supports.update(engine.count(db, batch))
-            pass_stats.bottom_up_candidates = len(uncounted_candidates)
-            # MFCS elements counted this pass (an element that doubles as a
-            # bottom-up candidate is billed once, as the bottom-up side)
-            pass_stats.mfcs_candidates = len(batch) - len(uncounted_candidates)
-
-            # ----- classify the MFCS elements (paper line 7 + amendment A2)
-            infrequent_mfcs: List[Itemset] = []
-            for element in mfcs_elements:
-                if supports[element] >= threshold:
-                    mfs.add(element)
-                    mfs_cover.add(element)
-                    mfcs.remove(element)
-                    pass_stats.maximal_found += 1
-                    longest_maximal = max(longest_maximal, len(element))
-                else:
-                    infrequent_mfcs.append(element)
-
-            # ----- classify the bottom-up candidates (paper lines 8-9)
-            frequent_in_ck = [c for c in candidates if supports[c] >= threshold]
-            infrequent_in_ck = [c for c in candidates if supports[c] < threshold]
-            level_frequents = [
-                c for c in frequent_in_ck if not mfs_cover.covers(c)
-            ]
-            pass_stats.frequent_found = len(frequent_in_ck)
-            pass_stats.infrequent_found = len(infrequent_in_ck)
-            pass_stats.pruned_as_mfs_subsets = len(frequent_in_ck) - len(
-                level_frequents
-            )
-            frequents_seen.update(level_frequents)
-
-            # ----- pre-update adaptivity (Section 3.5's "many 2-itemsets,
-            # few frequent" cue): a hopeless pass-2 ratio abandons the
-            # MFCS before the expensive MFCS-gen update even starts
-            maintaining = policy.keep_after_classification(
-                k, len(frequent_in_ck), len(candidates), longest_maximal
-            )
-            if not maintaining:
-                pass_stats.mfcs_size_after = 0
-                pass_stats.seconds = time.perf_counter() - pass_started
-                if pass_stats.total_candidates:
-                    stats.passes.append(pass_stats)
-                break
-
-            # ----- update MFCS (paper line 14, with A2/A4)
-            if longest_maximal > policy.abandon_length_cap:
-                # abandonment is off the table (see AdaptivePolicy docs),
-                # so a mid-update cap abort must not fire either
-                size_cap = work_cap = None
-            else:
-                size_cap = policy.update_size_cap
-                work_cap = policy.update_work_cap
-            completed = mfcs.update(
-                infrequent_in_ck,
-                protected=mfs_cover,
-                size_cap=size_cap,
-                work_cap=work_cap,
-            )
-            if completed:
-                completed = mfcs.update(
-                    infrequent_mfcs,
-                    protected=mfs_cover,
-                    size_cap=size_cap,
-                    work_cap=work_cap,
-                )
-            if not completed:
-                # mid-update size blow-up (scattered distributions): the
-                # MFCS contents are no longer meaningful
-                policy.abandon()
-                maintaining = False
-            pass_stats.mfcs_size_after = len(mfcs) if maintaining else 0
-
-            # ----- candidate generation + adaptivity (paper lines 10-13, §3.5)
-            if maintaining:
-                next_candidates = generate_candidates(
-                    level_frequents, mfs_cover, k
-                )
-                if mfs:
-                    pass_stats.recovered_candidates = _count_recovered(
-                        level_frequents, next_candidates
+        run_span = obs.span(
+            "run",
+            algorithm=self.name,
+            engine=engine.name,
+            num_transactions=len(db),
+            min_support_count=threshold,
+        )
+        with run_span:
+            while maintaining and (candidates or len(mfcs) > 0):
+                k += 1
+                if k > 2 * db.num_items + 4:
+                    # bottom-up needs ≤ n levels; the pure top-down descent
+                    # of A1/A2 at most n more (one level per free pass)
+                    raise AssertionError("pincer-search failed to terminate")
+                pass_stats = PassStats(pass_number=k)
+                pass_started = time.perf_counter()
+                splits_before = mfcs.splits
+                exclusions_before = mfcs.exclusions
+                with obs.span("pass", k=k) as pass_span:
+                    # ----- one database read: C_k plus unclassified MFCS
+                    # elements (the engine emits the nested "count" span)
+                    mfcs_elements = sorted(mfcs)
+                    uncounted_candidates = [
+                        c for c in candidates if c not in supports
+                    ]
+                    batch = dict.fromkeys(uncounted_candidates)
+                    for element in mfcs_elements:
+                        if element not in supports:
+                            batch[element] = None
+                    supports.update(engine.count(db, batch))
+                    pass_stats.bottom_up_candidates = len(uncounted_candidates)
+                    # MFCS elements counted this pass (an element that
+                    # doubles as a bottom-up candidate is billed once, as
+                    # the bottom-up side)
+                    pass_stats.mfcs_candidates = len(batch) - len(
+                        uncounted_candidates
                     )
-                if self._prune_uncovered:
-                    next_candidates = {
-                        c
-                        for c in next_candidates
-                        if mfcs.covers(c) or mfs_cover.covers(c)
-                    }
-                maintaining = policy.keep_mfcs(
-                    k,
-                    len(mfcs),
-                    len(next_candidates),
-                    pass_stats.maximal_found,
-                    longest_maximal,
+
+                    with obs.span("prune"):
+                        # ----- classify the MFCS elements (paper line 7
+                        # + amendment A2)
+                        infrequent_mfcs: List[Itemset] = []
+                        for element in mfcs_elements:
+                            if supports[element] >= threshold:
+                                mfs.add(element)
+                                mfs_cover.add(element)
+                                mfcs.remove(element)
+                                pass_stats.maximal_found += 1
+                                longest_maximal = max(
+                                    longest_maximal, len(element)
+                                )
+                            else:
+                                infrequent_mfcs.append(element)
+
+                        # ----- classify the bottom-up candidates (paper
+                        # lines 8-9)
+                        frequent_in_ck = [
+                            c for c in candidates if supports[c] >= threshold
+                        ]
+                        infrequent_in_ck = [
+                            c for c in candidates if supports[c] < threshold
+                        ]
+                        level_frequents = [
+                            c for c in frequent_in_ck if not mfs_cover.covers(c)
+                        ]
+                        pass_stats.frequent_found = len(frequent_in_ck)
+                        pass_stats.infrequent_found = len(infrequent_in_ck)
+                        pass_stats.pruned_as_mfs_subsets = len(
+                            frequent_in_ck
+                        ) - len(level_frequents)
+                        frequents_seen.update(level_frequents)
+
+                    # ----- pre-update adaptivity (Section 3.5's "many
+                    # 2-itemsets, few frequent" cue): a hopeless pass-2
+                    # ratio abandons the MFCS before the expensive
+                    # MFCS-gen update even starts
+                    maintaining = policy.keep_after_classification(
+                        k, len(frequent_in_ck), len(candidates), longest_maximal
+                    )
+                    if not maintaining:
+                        pass_stats.mfcs_size_after = 0
+                        pass_stats.seconds = time.perf_counter() - pass_started
+                        if pass_stats.total_candidates:
+                            stats.passes.append(pass_stats)
+                        self._finish_pass_obs(
+                            obs, pass_span, pass_stats,
+                            mfcs.splits - splits_before,
+                            mfcs.exclusions - exclusions_before,
+                        )
+                        break
+
+                    # ----- update MFCS (paper line 14, with A2/A4)
+                    with obs.span("mfcs_gen") as mfcs_span:
+                        if longest_maximal > policy.abandon_length_cap:
+                            # abandonment is off the table (see
+                            # AdaptivePolicy docs), so a mid-update cap
+                            # abort must not fire either
+                            size_cap = work_cap = None
+                        else:
+                            size_cap = policy.update_size_cap
+                            work_cap = policy.update_work_cap
+                        completed = mfcs.update(
+                            infrequent_in_ck,
+                            protected=mfs_cover,
+                            size_cap=size_cap,
+                            work_cap=work_cap,
+                        )
+                        if completed:
+                            completed = mfcs.update(
+                                infrequent_mfcs,
+                                protected=mfs_cover,
+                                size_cap=size_cap,
+                                work_cap=work_cap,
+                            )
+                        if not completed:
+                            # mid-update size blow-up (scattered
+                            # distributions): the MFCS contents are no
+                            # longer meaningful
+                            policy.abandon()
+                            maintaining = False
+                        pass_stats.mfcs_size_after = (
+                            len(mfcs) if maintaining else 0
+                        )
+                        mfcs_span.set(
+                            completed=completed,
+                            mfcs_size=pass_stats.mfcs_size_after,
+                        )
+
+                    # ----- candidate generation + adaptivity (paper
+                    # lines 10-13, §3.5)
+                    if maintaining:
+                        with obs.span("generate"):
+                            next_candidates = generate_candidates(
+                                level_frequents, mfs_cover, k
+                            )
+                            if mfs:
+                                with obs.span("recover"):
+                                    pass_stats.recovered_candidates = (
+                                        _count_recovered(
+                                            level_frequents, next_candidates
+                                        )
+                                    )
+                            if self._prune_uncovered:
+                                next_candidates = {
+                                    c
+                                    for c in next_candidates
+                                    if mfcs.covers(c) or mfs_cover.covers(c)
+                                }
+                        maintaining = policy.keep_mfcs(
+                            k,
+                            len(mfcs),
+                            len(next_candidates),
+                            pass_stats.maximal_found,
+                            longest_maximal,
+                        )
+                        candidates = sorted(next_candidates)
+
+                    pass_stats.seconds = time.perf_counter() - pass_started
+                    if pass_stats.total_candidates:
+                        stats.passes.append(pass_stats)
+                    self._finish_pass_obs(
+                        obs, pass_span, pass_stats,
+                        mfcs.splits - splits_before,
+                        mfcs.exclusions - exclusions_before,
+                    )
+
+            if not maintaining:
+                # The MFCS was abandoned (Section 3.5's adaptive fallback)
+                # or never maintained: finish bottom-up with an Apriori
+                # sweep over the not-yet-covered region.  If no maximal
+                # itemset was discovered before abandonment, no pruning
+                # ever removed a frequent itemset and the levels
+                # classified so far are complete — the sweep resumes right
+                # at the current level.  Otherwise it rebuilds every level
+                # from the bottom, because the maintained phase's
+                # candidate generation only guarantees completeness
+                # jointly with the MFCS (the recovery procedure misses
+                # candidates both of whose join parents are subsets of two
+                # *different* MFS members — see DESIGN.md A6).  Either
+                # way, already-counted itemsets and subsets of discovered
+                # maximal itemsets are classified from cache, so only
+                # genuinely unknown itemsets reach the engine.
+                logger.info(
+                    "MFCS abandoned after pass %d; completing bottom-up", k
                 )
-                candidates = sorted(next_candidates)
+                start_level = k if not mfs else None
+                self._complete_bottom_up(
+                    db, engine, supports, threshold, mfs_cover, frequents_seen,
+                    stats, k, start_level, obs=obs,
+                )
 
-            pass_stats.seconds = time.perf_counter() - pass_started
-            if pass_stats.total_candidates:
-                stats.passes.append(pass_stats)
-
-        if not maintaining:
-            # The MFCS was abandoned (Section 3.5's adaptive fallback) or
-            # never maintained: finish bottom-up with an Apriori sweep
-            # over the not-yet-covered region.  If no maximal itemset was
-            # discovered before abandonment, no pruning ever removed a
-            # frequent itemset and the levels classified so far are
-            # complete — the sweep resumes right at the current level.
-            # Otherwise it rebuilds every level from the bottom, because
-            # the maintained phase's candidate generation only guarantees
-            # completeness jointly with the MFCS (the recovery procedure
-            # misses candidates both of whose join parents are subsets of
-            # two *different* MFS members — see DESIGN.md A6).  Either
-            # way, already-counted itemsets and subsets of discovered
-            # maximal itemsets are classified from cache, so only
-            # genuinely unknown itemsets reach the engine.
-            start_level = k if not mfs else None
-            self._complete_bottom_up(
-                db, engine, supports, threshold, mfs_cover, frequents_seen,
-                stats, k, start_level,
-            )
-
-        final_mfs = maximal_elements(mfs | frequents_seen)
-        stats.seconds = time.perf_counter() - started
-        stats.records_read = engine.records_read
+            final_mfs = maximal_elements(mfs | frequents_seen)
+            stats.seconds = time.perf_counter() - started
+            stats.records_read = engine.records_read
+            if obs.enabled:
+                run_span.set(
+                    passes=stats.num_passes,
+                    total_candidates=stats.total_candidates,
+                    mfs_size=len(final_mfs),
+                    records_read=stats.records_read,
+                    abandoned=not maintaining,
+                )
+                obs.gauge("miner.mfs_size").set(len(final_mfs))
+                obs.counter("miner.runs").inc()
+        logger.debug("%s", stats.summary())
         return MiningResult(
             mfs=frozenset(final_mfs),
             supports=supports,
@@ -287,6 +361,45 @@ class PincerSearch:
             algorithm=self.name,
             stats=stats,
         )
+
+    @staticmethod
+    def _finish_pass_obs(
+        obs: Instrumentation,
+        pass_span,
+        pass_stats: PassStats,
+        splits: int,
+        exclusions: int,
+    ) -> None:
+        """Record one finished pass on its span and in the registry."""
+        logger.debug(
+            "pass %d: %d bottom-up + %d MFCS candidates, %d frequent, "
+            "%d maximal, |MFCS|=%d",
+            pass_stats.pass_number, pass_stats.bottom_up_candidates,
+            pass_stats.mfcs_candidates, pass_stats.frequent_found,
+            pass_stats.maximal_found, pass_stats.mfcs_size_after,
+        )
+        if not obs.enabled:
+            return
+        pass_span.set(
+            mfcs_splits=splits,
+            mfcs_exclusions=exclusions,
+            **pass_stats.to_dict(),
+        )
+        obs.counter("miner.candidates.bottom_up").inc(
+            pass_stats.bottom_up_candidates
+        )
+        obs.counter("miner.candidates.mfcs").inc(pass_stats.mfcs_candidates)
+        obs.counter("miner.frequent_found").inc(pass_stats.frequent_found)
+        obs.counter("miner.maximal_found").inc(pass_stats.maximal_found)
+        obs.counter("miner.recovered_candidates").inc(
+            pass_stats.recovered_candidates
+        )
+        obs.counter("miner.pruned_as_mfs_subsets").inc(
+            pass_stats.pruned_as_mfs_subsets
+        )
+        obs.counter("mfcs.splits").inc(splits)
+        obs.counter("mfcs.exclusions").inc(exclusions)
+        obs.gauge("mfcs.size").set(pass_stats.mfcs_size_after)
 
     # ------------------------------------------------------------------
 
@@ -301,6 +414,7 @@ class PincerSearch:
         stats: MiningStats,
         pass_number: int,
         start_level: Optional[int] = None,
+        obs: Instrumentation = NOOP,
     ) -> None:
         """Apriori with a frequency oracle — the post-abandonment sweep.
 
@@ -357,14 +471,19 @@ class PincerSearch:
                 pass_number += 1
                 pass_stats = stats.new_pass(pass_number)
                 pass_started = time.perf_counter()
-                supports.update(engine.count(db, unknown))
-                pass_stats.bottom_up_candidates = len(unknown)
-                newly_frequent = [
-                    c for c in unknown if supports[c] >= threshold
-                ]
-                pass_stats.frequent_found = len(newly_frequent)
-                pass_stats.infrequent_found = len(unknown) - len(newly_frequent)
-                pass_stats.seconds = time.perf_counter() - pass_started
+                with obs.span("sweep", k=level) as sweep_span:
+                    supports.update(engine.count(db, unknown))
+                    pass_stats.bottom_up_candidates = len(unknown)
+                    newly_frequent = [
+                        c for c in unknown if supports[c] >= threshold
+                    ]
+                    pass_stats.frequent_found = len(newly_frequent)
+                    pass_stats.infrequent_found = len(unknown) - len(
+                        newly_frequent
+                    )
+                    pass_stats.seconds = time.perf_counter() - pass_started
+                    if obs.enabled:
+                        sweep_span.set(**pass_stats.to_dict())
                 frequent.extend(newly_frequent)
             current = sorted(frequent)
             frequents_seen.update(current)
@@ -405,6 +524,7 @@ def pincer_search(
     adaptive: bool = True,
     policy: Optional[AdaptivePolicy] = None,
     prune_uncovered: bool = False,
+    obs: Optional[Instrumentation] = None,
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`PincerSearch`.
 
@@ -419,4 +539,4 @@ def pincer_search(
         policy=policy,
         prune_uncovered=prune_uncovered,
     )
-    return miner.mine(db, min_support, min_count=min_count)
+    return miner.mine(db, min_support, min_count=min_count, obs=obs)

@@ -17,8 +17,12 @@ accounting conventions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List
+
+#: Version of the :meth:`MiningStats.to_dict` document — shared with the
+#: trace/metrics event schema (see :mod:`repro.obs.schema`).
+STATS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -49,6 +53,18 @@ class PassStats:
     def total_candidates(self) -> int:
         """All itemsets counted this pass (paper's per-pass candidate count)."""
         return self.bottom_up_candidates + self.mfcs_candidates
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready mapping of every field (plus the derived total)."""
+        data = asdict(self)
+        data["total_candidates"] = self.total_candidates
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PassStats":
+        """Inverse of :meth:`to_dict`; unknown/derived keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclass
@@ -95,6 +111,42 @@ class MiningStats:
     def total_maximal_found_in_mfcs(self) -> int:
         """How many MFS members were discovered top-down (0 for Apriori)."""
         return sum(stats.maximal_found for stats in self.passes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The versioned ``mining_stats`` document (JSON-ready).
+
+        Round-trips through :meth:`from_dict`; validated by
+        :func:`repro.obs.schema.validate_stats_document`.
+        """
+        return {
+            "v": STATS_SCHEMA_VERSION,
+            "type": "mining_stats",
+            "algorithm": self.algorithm,
+            "seconds": self.seconds,
+            "records_read": self.records_read,
+            "num_passes": self.num_passes,
+            "total_candidates": self.total_candidates,
+            "candidates_after_pass2": self.candidates_after_pass2,
+            "passes": [stats.to_dict() for stats in self.passes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MiningStats":
+        """Rebuild stats from a :meth:`to_dict` document."""
+        version = data.get("v", STATS_SCHEMA_VERSION)
+        if version != STATS_SCHEMA_VERSION:
+            raise ValueError(
+                "unsupported stats schema version %r (expected %d)"
+                % (version, STATS_SCHEMA_VERSION)
+            )
+        return cls(
+            algorithm=data.get("algorithm", ""),
+            seconds=data.get("seconds", 0.0),
+            records_read=data.get("records_read", 0),
+            passes=[
+                PassStats.from_dict(entry) for entry in data.get("passes", [])
+            ],
+        )
 
     def summary(self) -> str:
         """One-line human-readable digest used by the CLI."""

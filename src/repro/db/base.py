@@ -12,6 +12,7 @@ import time
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from .._types import CountingDeadline, Itemset
+from ..obs.instrument import NOOP, Instrumentation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .transaction_db import TransactionDatabase
@@ -23,6 +24,12 @@ class SupportCounter:
     ``deadline`` (a :func:`time.perf_counter` timestamp, or None) is
     checked periodically by engines that can: exceeding it aborts the
     pass with :class:`CountingDeadline`.
+
+    ``obs`` is the engine's :class:`~repro.obs.instrument.Instrumentation`
+    handle; miners attach theirs before mining so counting emits ``count``
+    spans (nested under the miner's pass span) and engine metrics.  It
+    defaults to the shared disabled bundle, whose cost in :meth:`count` is
+    one attribute read and one truthiness check per pass.
     """
 
     name = "abstract"
@@ -32,12 +39,23 @@ class SupportCounter:
         self.records_read = 0
         self.itemsets_counted = 0
         self.deadline: Optional[float] = None
+        self.obs: Instrumentation = NOOP
 
     def _check_deadline(self) -> None:
         if self.deadline is not None and time.perf_counter() > self.deadline:
             raise CountingDeadline(
                 "%s engine passed its deadline mid-pass" % self.name
             )
+
+    def _bill_records(self, db: "TransactionDatabase") -> None:
+        """Account the records one pass reads.
+
+        The default engines read every transaction exactly once per pass.
+        Engines with their own accounting source (the sharded engine sums
+        what its workers *report* having read) override this to defer
+        billing into :meth:`_count`.
+        """
+        self.records_read += len(db)
 
     def count(
         self, db: "TransactionDatabase", candidates: Iterable[Itemset]
@@ -51,13 +69,25 @@ class SupportCounter:
         if not batch:
             return {}
         self.passes += 1
-        self.records_read += len(db)
+        records_before = self.records_read
+        self._bill_records(db)
         self._check_deadline()
+        obs = self.obs
+        if obs.enabled:
+            with obs.span("count", engine=self.name, batch_size=len(batch)) as span:
+                result = self._count(db, batch)
+                span.set(records_read=self.records_read - records_before)
+            obs.counter("engine.passes").inc()
+            obs.counter("engine.records_read").inc(
+                self.records_read - records_before
+            )
+            obs.histogram("engine.batch_size").observe(len(batch))
+        else:
+            result = self._count(db, batch)
         # engines key their result by itemset, so duplicate candidates
         # collapse in the output; billing the result size keeps
         # ``itemsets_counted`` a count of *unique* itemsets without an
         # upfront dedup scan of every batch
-        result = self._count(db, batch)
         self.itemsets_counted += len(result)
         return result
 

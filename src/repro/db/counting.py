@@ -159,6 +159,12 @@ class BitmapCounter(SupportCounter):
 
     name = "bitmap"
 
+    def __init__(self) -> None:
+        super().__init__()
+        #: cumulative :class:`PrefixIntersector` accounting across passes
+        self.prefix_cache_hits = 0
+        self.prefix_cache_misses = 0
+
     def _count(
         self, db: TransactionDatabase, candidates: List[Itemset]
     ) -> Dict[Itemset, int]:
@@ -173,7 +179,17 @@ class BitmapCounter(SupportCounter):
                 self._check_deadline()
             value = cache.intersection(candidate)
             counts[candidate] = popcount(value) if value is not None else 0
+        self.prefix_cache_hits += cache.hits
+        self.prefix_cache_misses += cache.misses
+        if self.obs.enabled:
+            self.obs.counter("prefix_cache.hits").inc(cache.hits)
+            self.obs.counter("prefix_cache.misses").inc(cache.misses)
         return {candidate: counts[candidate] for candidate in candidates}
+
+    def reset(self) -> None:
+        super().reset()
+        self.prefix_cache_hits = 0
+        self.prefix_cache_misses = 0
 
 
 _ENGINES = {

@@ -31,14 +31,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import weakref
 from typing import Dict, List, Optional, Tuple
 
 from .._types import Itemset
+from ..obs.logsetup import get_logger
 from .base import SupportCounter
 from .vertical import build_index
 
 __all__ = ["MIN_ROWS_PER_SHARD", "ShardedCounter", "default_num_shards"]
+
+logger = get_logger("db.parallel")
 
 #: Below this many transactions a shard cannot amortise its dispatch cost.
 MIN_ROWS_PER_SHARD = 512
@@ -64,7 +68,14 @@ def _shard_bounds(num_rows: int, num_shards: int) -> List[Tuple[int, int]]:
 
 
 def _shard_worker(connection, transactions, universe) -> None:
-    """Worker loop: build the shard index once, then serve count batches."""
+    """Worker loop: build the shard index once, then serve count batches.
+
+    Each reply carries the counts **plus the shard's own accounting** —
+    the records the batch read (every shard row, once) and the worker's
+    wall-clock seconds for the batch — so the parent can aggregate exact
+    ``records_read`` totals and per-shard timings without a side channel.
+    """
+    num_rows = len(transactions)
     try:
         index = build_index(transactions, universe)
     except BaseException as exc:  # pragma: no cover - defensive
@@ -80,7 +91,13 @@ def _shard_worker(connection, transactions, universe) -> None:
         if message is None:
             break
         try:
-            connection.send(("counts", index.counts(message)))
+            started = time.perf_counter()
+            counts = index.counts(message)
+            meta = {
+                "records_read": num_rows,
+                "seconds": time.perf_counter() - started,
+            }
+            connection.send(("counts", counts, meta))
         except BaseException as exc:  # pragma: no cover - defensive
             connection.send(("error", repr(exc)))
     connection.close()
@@ -120,6 +137,10 @@ class ShardedCounter(SupportCounter):
         self._workers: List[multiprocessing.Process] = []
         self._connections: List[object] = []
         self.worker_pids: List[int] = []
+        #: rows per shard of the attached database (parallel to workers)
+        self.shard_rows: List[int] = []
+        #: per-shard worker seconds of the most recent pass
+        self.last_shard_seconds: List[float] = []
 
     # ------------------------------------------------------------------
     # worker / shard lifecycle
@@ -140,9 +161,14 @@ class ShardedCounter(SupportCounter):
         processes = (
             self._use_processes if self._use_processes is not None else shards > 1
         )
+        self.shard_rows = [stop - start for start, stop in bounds]
         if processes and shards > 1:
             if self._spawn_workers(transactions, universe, bounds):
                 self._db_ref = weakref.ref(db)
+                logger.debug(
+                    "attached %d worker shards (rows per shard: %s)",
+                    len(bounds), self.shard_rows,
+                )
                 return
         # serial sharding: same shard-local indexes, same summation
         self._indexes = [
@@ -150,6 +176,7 @@ class ShardedCounter(SupportCounter):
             for start, stop in bounds
         ]
         self._db_ref = weakref.ref(db)
+        logger.debug("attached %d in-process shards", len(self._indexes))
 
     def _spawn_workers(self, transactions, universe, bounds) -> bool:
         context = multiprocessing.get_context()
@@ -208,6 +235,8 @@ class ShardedCounter(SupportCounter):
         self._workers = []
         self._connections = []
         self.worker_pids = []
+        self.shard_rows = []
+        self.last_shard_seconds = []
         self._indexes = []
         self._db_ref = None
 
@@ -227,6 +256,17 @@ class ShardedCounter(SupportCounter):
     # counting
     # ------------------------------------------------------------------
 
+    def _bill_records(self, db) -> None:
+        """Deferred: shard workers *report* the records they read.
+
+        The parent sums the per-shard reports in :meth:`_count` instead of
+        assuming ``len(db)`` up front, so ``records_read`` (and through it
+        ``MiningStats.records_read``) reflects what the shards actually
+        touched — the shard reports of a completed pass always sum to
+        ``len(db)``, and an aborted pass bills only the shards that
+        answered.
+        """
+
     def _count(self, db, candidates: List[Itemset]) -> Dict[Itemset, int]:
         if not self._attached_to(db):
             self._attach(db)
@@ -234,18 +274,26 @@ class ShardedCounter(SupportCounter):
             totals = self._count_in_workers(candidates)
         else:
             totals = [0] * len(candidates)
-            for index in self._indexes:
+            self.last_shard_seconds = [0.0] * len(self._indexes)
+            for shard, index in enumerate(self._indexes):
                 self._check_deadline()
+                shard_started = time.perf_counter()
                 for position, count in enumerate(
                     index.counts(candidates, deadline_check=self._check_deadline)
                 ):
                     totals[position] += count
+                self.last_shard_seconds[shard] = (
+                    time.perf_counter() - shard_started
+                )
+                self.records_read += index.num_rows
+        self._record_shard_metrics()
         return dict(zip(candidates, totals))
 
     def _count_in_workers(self, candidates: List[Itemset]) -> List[int]:
         for connection in self._connections:
             connection.send(candidates)
         totals = [0] * len(candidates)
+        self.last_shard_seconds = [0.0] * len(self._connections)
         pending = set(range(len(self._connections)))
         while pending:
             try:
@@ -259,11 +307,33 @@ class ShardedCounter(SupportCounter):
                 connection = self._connections[shard]
                 if not connection.poll(0.01):
                     continue
-                kind, payload = connection.recv()
-                if kind != "counts":
+                reply = connection.recv()
+                if reply[0] != "counts":
                     self.close()
-                    raise RuntimeError("shard %d failed: %s" % (shard, payload))
+                    raise RuntimeError("shard %d failed: %s" % (shard, reply[1]))
+                _, payload, meta = reply
                 for position, count in enumerate(payload):
                     totals[position] += count
+                self.records_read += meta["records_read"]
+                self.last_shard_seconds[shard] = meta["seconds"]
                 pending.discard(shard)
         return totals
+
+    def _record_shard_metrics(self) -> None:
+        """Feed the latest pass's per-shard numbers into the registry."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.gauge("shard.count").set(
+            max(len(self.last_shard_seconds), len(self.shard_rows))
+        )
+        worker_seconds = obs.histogram("shard.worker_seconds")
+        for seconds in self.last_shard_seconds:
+            worker_seconds.observe(seconds)
+        if self.last_shard_seconds:
+            obs.gauge("shard.last_pass_max_seconds").set(
+                max(self.last_shard_seconds)
+            )
+            obs.counter("shard.worker_seconds_total_ms").inc(
+                int(sum(self.last_shard_seconds) * 1000)
+            )

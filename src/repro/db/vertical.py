@@ -117,7 +117,12 @@ class PrefixIntersector(Generic[Bitmap]):
     the next candidate reuses the longest prefix it shares.
 
     ``reused``/``intersections`` count saved vs. performed combines so
-    benchmarks and tests can observe the cache working.
+    benchmarks and tests can observe the cache working.  ``hits``/``misses``
+    are the cache-centric view of the same stream — a *hit* is a prefix
+    entry served from the memo, a *miss* is a prefix entry that had to be
+    (re)computed, whether or not its item resolved to a bitmap — and are
+    what the metrics registry and bench records surface as
+    ``prefix_cache.hits`` / ``prefix_cache.misses``.
     """
 
     def __init__(
@@ -133,6 +138,8 @@ class PrefixIntersector(Generic[Bitmap]):
         self._values: List[Optional[Bitmap]] = []
         self.reused = 0
         self.intersections = 0
+        self.hits = 0
+        self.misses = 0
 
     def intersection(self, candidate: Itemset) -> Optional[Bitmap]:
         """AND of the item bitmaps; None if any item has no bitmap."""
@@ -145,6 +152,8 @@ class PrefixIntersector(Generic[Bitmap]):
         del self._items[shared:]
         del self._values[shared:]
         self.reused += shared
+        self.hits += shared
+        self.misses += len(candidate) - shared
         value = self._values[shared - 1] if shared else self._top
         for item in candidate[shared:]:
             if value is not None:
@@ -206,6 +215,11 @@ class PackedBitmapIndex:
         self._num_rows = num_rows
         self._row_table = self._build_row_table(rows)
         self._scratch_and = None  # lazily grown (chunk, num_words) buffer
+        #: cumulative prefix-sharing accounting, mirroring
+        #: :class:`PrefixIntersector`: ``prefix_hits`` = ANDs avoided by
+        #: resolving shared prefixes once, ``prefix_misses`` = ANDs done
+        self.prefix_hits = 0
+        self.prefix_misses = 0
 
     @classmethod
     def _build_row_table(cls, rows: Dict[int, int]):
@@ -353,6 +367,7 @@ class PackedBitmapIndex:
             return matrix[block[:, 0]]
         if 2 < length <= 32 and count >= 256:
             return self._intersect_shared_prefixes(block)
+        self.prefix_misses += count * (length - 1)
         if count < 64 and length > 2:
             # tiny blocks of long candidates (an MFCS candidate can span
             # the whole universe): one gather + one reduce beats paying
@@ -387,6 +402,9 @@ class PackedBitmapIndex:
             levels.append((inverse.reshape(-1), current[:, -1]))
             current = unique_prefixes
         accumulators = self._matrix[current[:, 0]]
+        performed = sum(len(last_rows) for _, last_rows in levels)
+        self.prefix_misses += performed
+        self.prefix_hits += block.shape[0] * (block.shape[1] - 1) - performed
         for inverse, last_rows in reversed(levels):
             accumulators = _np.bitwise_and(
                 accumulators[inverse], self._matrix[last_rows]
@@ -406,6 +424,9 @@ class IntBitmapIndex:
     def __init__(self, bitmaps: Dict[int, int], num_rows: int) -> None:
         self._bitmaps = bitmaps
         self._num_rows = num_rows
+        #: cumulative :class:`PrefixIntersector` accounting across calls
+        self.prefix_hits = 0
+        self.prefix_misses = 0
 
     @property
     def num_rows(self) -> int:
@@ -448,6 +469,8 @@ class IntBitmapIndex:
             value = cache.intersection(candidates[position])
             if value is not None:
                 results[position] = popcount(value)
+        self.prefix_hits += cache.hits
+        self.prefix_misses += cache.misses
         return results
 
 
@@ -481,6 +504,10 @@ class PackedCounter(SupportCounter):
         self._force_python = force_python
         self._index = None
         self._index_db: Optional[Callable[[], object]] = None
+        #: cumulative prefix-sharing accounting across all passes served
+        #: (bench records read these; the metrics registry gets them too)
+        self.prefix_cache_hits = 0
+        self.prefix_cache_misses = 0
 
     def _index_for(self, db):
         if (
@@ -497,5 +524,19 @@ class PackedCounter(SupportCounter):
 
     def _count(self, db, candidates: List[Itemset]) -> Dict[Itemset, int]:
         index = self._index_for(db)
+        hits_before = index.prefix_hits
+        misses_before = index.prefix_misses
         counts = index.counts(candidates, deadline_check=self._check_deadline)
+        hits = index.prefix_hits - hits_before
+        misses = index.prefix_misses - misses_before
+        self.prefix_cache_hits += hits
+        self.prefix_cache_misses += misses
+        if self.obs.enabled:
+            self.obs.counter("prefix_cache.hits").inc(hits)
+            self.obs.counter("prefix_cache.misses").inc(misses)
         return dict(zip(candidates, counts))
+
+    def reset(self) -> None:
+        super().reset()
+        self.prefix_cache_hits = 0
+        self.prefix_cache_misses = 0

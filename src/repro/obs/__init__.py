@@ -1,0 +1,70 @@
+"""``repro.obs`` — tracing, metrics, and structured run-logging.
+
+Zero-dependency observability for the miners and counting engines:
+
+* :mod:`repro.obs.tracing` — nestable wall-clock spans emitted as JSONL
+  (``run > pass > {count, prune, mfcs_gen, generate, recover}``);
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry the
+  engines and miners write into;
+* :mod:`repro.obs.logsetup` — the stdlib ``repro`` logger hierarchy and
+  the ``--log-level`` configuration hook;
+* :mod:`repro.obs.schema` — the versioned event schema plus validators
+  (also a CLI: ``python -m repro.obs.schema run.jsonl``);
+* :mod:`repro.obs.instrument` — the :class:`Instrumentation` bundle and
+  the shared disabled :data:`NOOP` instance.
+
+Everything is off by default and near-zero-cost when disabled; see
+DESIGN.md's "Observability" section for the span hierarchy and the event
+schema, and README.md for a worked ``--trace`` session.
+"""
+
+from .instrument import Instrumentation, NOOP, capture
+from .logsetup import ROOT_LOGGER_NAME, configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NullRegistry,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    validate_metrics_document,
+    validate_metrics_file,
+    validate_stats_document,
+    validate_trace_event,
+    validate_trace_file,
+    validate_trace_lines,
+)
+from .tracing import NOOP_SPAN, NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NOOP",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NULL_INSTRUMENT",
+    "NoopSpan",
+    "NoopTracer",
+    "NullRegistry",
+    "ROOT_LOGGER_NAME",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Span",
+    "Tracer",
+    "capture",
+    "configure_logging",
+    "get_logger",
+    "validate_metrics_document",
+    "validate_metrics_file",
+    "validate_stats_document",
+    "validate_trace_event",
+    "validate_trace_file",
+    "validate_trace_lines",
+]

@@ -1,0 +1,133 @@
+"""The :class:`Instrumentation` bundle threaded through miners and engines.
+
+One object carries the whole observability surface — a tracer and a
+metrics registry — so instrumented code needs a single optional ``obs``
+parameter instead of three.  The module-level :data:`NOOP` instance is the
+default everywhere: its ``enabled`` flag is False, its spans are the
+shared no-op span, and its instruments swallow writes, which is what makes
+instrumentation safe to leave compiled into every hot path.
+
+Conventions for instrumented code:
+
+* accept ``obs: Optional[Instrumentation] = None`` and normalise with
+  ``obs = obs if obs is not None else NOOP``;
+* wrap per-pass (not per-item) work in ``with obs.span(...)``, which is
+  cheap enough unguarded;
+* guard anything finer — per-candidate counters, attribute dictionaries —
+  behind ``if obs.enabled:``.
+
+:func:`capture` is the factory the CLI and tests use to build an enabled
+bundle from output paths, and :meth:`Instrumentation.finish` writes the
+metrics document and closes the trace sink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NullRegistry,
+)
+from .tracing import NOOP_SPAN, NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
+
+__all__ = ["Instrumentation", "NOOP", "capture"]
+
+
+class Instrumentation:
+    """Tracer + metrics registry behind one ``obs`` handle."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[Union[Tracer, NoopTracer]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_path: Optional[str] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics_path = metrics_path
+
+    # ------------------------------------------------------------------
+    # delegation shims — the whole instrumented surface in one namespace
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Union[Span, NoopSpan]:
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name)
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Write the metrics document (if a path was given), close the trace."""
+        if self.metrics_path is not None:
+            self.metrics.write(self.metrics_path)
+        self.tracer.close()
+
+    def __enter__(self) -> "Instrumentation":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.finish()
+
+
+class _NoopInstrumentation(Instrumentation):
+    """The shared disabled bundle; every operation is free."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(tracer=NOOP_TRACER, metrics=NullRegistry())
+
+    def span(self, name: str, **attrs: Any) -> NoopSpan:
+        return NOOP_SPAN
+
+    def counter(self, name: str) -> Counter:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def finish(self) -> None:
+        return None
+
+
+NOOP = _NoopInstrumentation()
+
+
+def capture(
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    producer: str = "repro",
+) -> Instrumentation:
+    """Build an :class:`Instrumentation` from output paths.
+
+    With neither path given the shared :data:`NOOP` bundle is returned,
+    so callers can wire CLI flags straight through without branching.
+    """
+    if trace_path is None and metrics_path is None:
+        return NOOP
+    tracer = (
+        Tracer.to_path(trace_path, producer=producer)
+        if trace_path is not None
+        else NOOP_TRACER
+    )
+    return Instrumentation(
+        tracer=tracer, metrics=MetricsRegistry(), metrics_path=metrics_path
+    )

@@ -1,0 +1,194 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is a named bag of three instrument kinds, all plain Python
+objects with ``__slots__`` so the enabled path costs one dict lookup plus
+one attribute update per observation:
+
+* :class:`Counter` — monotonically increasing int (``inc``);
+* :class:`Gauge` — last-written value (``set``);
+* :class:`Histogram` — running ``count/total/min/max`` summary
+  (``observe``).  Deliberately no buckets: the consumers here (bench
+  records, the metrics JSON document) want cheap summaries, and keeping
+  the per-observation cost at four scalar updates is what lets engines
+  observe every batch.
+
+Disabled instrumentation uses :data:`NULL_INSTRUMENT` — a single object
+answering ``inc``/``set``/``observe`` with a no-op — handed out by
+:class:`NullRegistry` without allocating anything per call.
+
+Registries serialise to the versioned ``metrics`` document of
+:mod:`repro.obs.schema` via :meth:`MetricsRegistry.to_dict`, and
+cross-process aggregation (the sharded engine's workers) goes through
+:meth:`MetricsRegistry.merge_counters`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Union
+
+from .schema import SCHEMA_VERSION
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NullRegistry",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonic int counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Running summary (count, total, min, max) of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: Number = 0
+        self.min: Number = 0
+        self.max: Number = 0
+
+    def observe(self, value: Number) -> None:
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if self.count == 0 or value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _NullInstrument:
+    """Answers every instrument method with a no-op (the disabled path)."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def set(self, value: Number) -> None:
+        return None
+
+    def observe(self, value: Number) -> None:
+        return None
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms plus JSON serialisation."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def merge_counters(self, values: Mapping[str, int]) -> None:
+        """Add a mapping of counter increments (per-shard aggregation)."""
+        for name, amount in values.items():
+            self.counter(name).inc(amount)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The versioned ``metrics`` document (see :mod:`repro.obs.schema`)."""
+        return {
+            "v": SCHEMA_VERSION,
+            "type": "metrics",
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def write(self, path: str) -> None:
+        """Dump the metrics document to ``path`` as pretty JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every instrument is :data:`NULL_INSTRUMENT`."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return NULL_INSTRUMENT  # type: ignore[return-value]

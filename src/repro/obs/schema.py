@@ -1,0 +1,277 @@
+"""Versioned schemas for trace events, metrics documents, and stats dumps.
+
+Everything the observability subsystem writes to disk is JSON with an
+explicit schema version (the ``"v"`` field), so traces recorded today can
+be read by tomorrow's tooling — and so CI can mechanically reject a run
+that emits a malformed line.  The validators here are deliberately
+zero-dependency (no ``jsonschema``): each one is a plain function that
+raises :class:`SchemaError` with a precise message on the first violation.
+
+Three document families share the version number :data:`SCHEMA_VERSION`:
+
+``span`` / ``meta`` events (one JSON object per line of a ``--trace`` file)
+    A *trace* is a JSONL stream.  The first line is a ``meta`` event
+    naming the schema version and the process that produced the stream;
+    every following line is a ``span`` event, emitted when the span
+    *closes* (children therefore precede their parents in the file, as in
+    most span logs).  Fields of a ``span`` event:
+
+    ============  ======================================================
+    ``v``         schema version (int, == :data:`SCHEMA_VERSION`)
+    ``type``      ``"span"``
+    ``span``      span id, unique within the trace (int, > 0)
+    ``parent``    id of the enclosing span, or None for a root span
+    ``name``      span name (``run``, ``pass``, ``count``, ``mfcs_gen``,
+                  ``generate``, ``recover``, ``prune``, ...)
+    ``ts``        wall-clock start time (``time.time()``, float seconds)
+    ``dur``       duration in float seconds (>= 0)
+    ``attrs``     flat mapping of str -> scalar (str/int/float/bool/None)
+    ============  ======================================================
+
+``metrics`` documents (the ``--metrics-out`` file)
+    A single JSON object::
+
+        {"v": 1, "type": "metrics",
+         "counters":   {name: int},
+         "gauges":     {name: number},
+         "histograms": {name: {"count": int, "total": number,
+                               "min": number, "max": number}}}
+
+``stats`` documents (:meth:`repro.core.stats.MiningStats.to_dict`)
+    The per-run accounting the figures are built from, round-trippable
+    via ``MiningStats.from_dict``.
+
+Run as a module to validate files (the CI observability smoke job)::
+
+    python -m repro.obs.schema run.jsonl --metrics m.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Version stamped into (and required of) every emitted document.
+SCHEMA_VERSION = 1
+
+#: Span names the instrumented miners emit; traces may add new names
+#: freely (the validator only checks the *shape*), this list is the
+#: documented vocabulary for trace readers.
+KNOWN_SPAN_NAMES = (
+    "run",
+    "pass",
+    "count",
+    "prune",
+    "mfcs_gen",
+    "generate",
+    "recover",
+    "sweep",
+    "cell",
+    "command",
+)
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class SchemaError(ValueError):
+    """A document does not conform to its declared schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _require_version(document: Dict[str, Any], what: str) -> None:
+    _require(isinstance(document, dict), "%s must be a JSON object" % what)
+    version = document.get("v")
+    _require(
+        version == SCHEMA_VERSION,
+        "%s has schema version %r, expected %d" % (what, version, SCHEMA_VERSION),
+    )
+
+
+def _require_scalar_attrs(attrs: Any, what: str) -> None:
+    _require(isinstance(attrs, dict), "%s attrs must be an object" % what)
+    for key, value in attrs.items():
+        _require(isinstance(key, str), "%s attr key %r must be str" % (what, key))
+        _require(
+            isinstance(value, _SCALAR_TYPES),
+            "%s attr %r must be a scalar, got %s" % (what, key, type(value).__name__),
+        )
+
+
+def validate_trace_event(event: Dict[str, Any]) -> None:
+    """Validate one line of a trace stream; raises :class:`SchemaError`."""
+    _require_version(event, "trace event")
+    kind = event.get("type")
+    if kind == "meta":
+        _require(isinstance(event.get("ts"), (int, float)), "meta ts must be a number")
+        _require(isinstance(event.get("pid"), int), "meta pid must be an int")
+        _require(isinstance(event.get("producer"), str), "meta producer must be str")
+        return
+    _require(kind == "span", "trace event type must be 'span' or 'meta', got %r" % kind)
+    _require(
+        isinstance(event.get("span"), int) and event["span"] > 0,
+        "span id must be a positive int",
+    )
+    parent = event.get("parent")
+    _require(
+        parent is None or (isinstance(parent, int) and parent > 0),
+        "span parent must be a positive int or null",
+    )
+    name = event.get("name")
+    _require(isinstance(name, str) and bool(name), "span name must be a non-empty str")
+    _require(isinstance(event.get("ts"), (int, float)), "span ts must be a number")
+    dur = event.get("dur")
+    _require(isinstance(dur, (int, float)) and dur >= 0, "span dur must be >= 0")
+    _require_scalar_attrs(event.get("attrs", {}), "span")
+
+
+def validate_metrics_document(document: Dict[str, Any]) -> None:
+    """Validate a ``--metrics-out`` JSON document."""
+    _require_version(document, "metrics document")
+    _require(
+        document.get("type") == "metrics",
+        "metrics document type must be 'metrics', got %r" % document.get("type"),
+    )
+    counters = document.get("counters", {})
+    _require(isinstance(counters, dict), "counters must be an object")
+    for name, value in counters.items():
+        _require(
+            isinstance(name, str) and isinstance(value, int),
+            "counter %r must map str -> int" % (name,),
+        )
+    gauges = document.get("gauges", {})
+    _require(isinstance(gauges, dict), "gauges must be an object")
+    for name, value in gauges.items():
+        _require(
+            isinstance(name, str) and isinstance(value, (int, float)),
+            "gauge %r must map str -> number" % (name,),
+        )
+    histograms = document.get("histograms", {})
+    _require(isinstance(histograms, dict), "histograms must be an object")
+    for name, cells in histograms.items():
+        _require(isinstance(cells, dict), "histogram %r must be an object" % name)
+        _require(
+            isinstance(cells.get("count"), int) and cells["count"] >= 0,
+            "histogram %r count must be an int >= 0" % name,
+        )
+        for key in ("total", "min", "max"):
+            _require(
+                isinstance(cells.get(key), (int, float)),
+                "histogram %r %s must be a number" % (name, key),
+            )
+
+
+def validate_stats_document(document: Dict[str, Any]) -> None:
+    """Validate a :meth:`MiningStats.to_dict` dump."""
+    _require_version(document, "stats document")
+    _require(
+        document.get("type") == "mining_stats",
+        "stats document type must be 'mining_stats'",
+    )
+    _require(isinstance(document.get("algorithm"), str), "algorithm must be str")
+    _require(
+        isinstance(document.get("seconds"), (int, float)),
+        "seconds must be a number",
+    )
+    _require(
+        isinstance(document.get("records_read"), int),
+        "records_read must be an int",
+    )
+    passes = document.get("passes")
+    _require(isinstance(passes, list), "passes must be a list")
+    for entry in passes:
+        _require(isinstance(entry, dict), "each pass must be an object")
+        _require(
+            isinstance(entry.get("pass_number"), int) and entry["pass_number"] >= 1,
+            "pass_number must be an int >= 1",
+        )
+        for key, value in entry.items():
+            if key == "seconds":
+                _require(
+                    isinstance(value, (int, float)),
+                    "pass seconds must be a number",
+                )
+            else:
+                _require(
+                    isinstance(value, int),
+                    "pass field %r must be an int" % key,
+                )
+
+
+def validate_trace_lines(lines: Iterable[str]) -> int:
+    """Validate a JSONL trace stream; returns the number of events.
+
+    The first event must be the ``meta`` header.  Raises
+    :class:`SchemaError` naming the offending line number.
+    """
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError("line %d is not JSON: %s" % (number, exc)) from None
+        try:
+            validate_trace_event(event)
+        except SchemaError as exc:
+            raise SchemaError("line %d: %s" % (number, exc)) from None
+        if count == 0:
+            _require(
+                event.get("type") == "meta",
+                "line %d: first trace event must be the meta header" % number,
+            )
+        count += 1
+    return count
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate a trace file on disk; returns the number of events."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace_lines(handle)
+
+
+def validate_metrics_file(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        validate_metrics_document(json.load(handle))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate trace / metrics files; exits non-zero on the first error."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="validate observability output against the v%d schema"
+        % SCHEMA_VERSION,
+    )
+    parser.add_argument("trace", nargs="*", help="JSONL trace files")
+    parser.add_argument(
+        "--metrics", action="append", default=[], metavar="PATH",
+        help="metrics JSON documents (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("give at least one trace or --metrics file")
+    try:
+        for path in args.trace:
+            events = validate_trace_file(path)
+            sys.stderr.write("%s: %d events ok\n" % (path, events))
+        for path in args.metrics:
+            validate_metrics_file(path)
+            sys.stderr.write("%s: metrics ok\n" % path)
+    except (SchemaError, OSError) as exc:
+        sys.stderr.write("invalid: %s\n" % exc)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

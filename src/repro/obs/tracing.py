@@ -1,0 +1,202 @@
+"""Nestable wall-clock spans emitted as JSONL events.
+
+A :class:`Tracer` owns an output sink and a stack of open spans; calling
+:meth:`Tracer.span` inside a ``with`` block opens a child of whatever span
+is currently innermost, so the miners' natural call structure produces the
+documented hierarchy (``run > pass > {count, prune, mfcs_gen, generate,
+recover}``) without any explicit parent plumbing.  Span events are written
+when the span *closes* (see :mod:`repro.obs.schema` for the event shape).
+
+Tracing is strictly opt-in.  The default tracer everywhere is
+:data:`NOOP_TRACER`, whose :meth:`~NoopTracer.span` hands back a shared
+:class:`NoopSpan` — entering it, setting attributes on it, and leaving it
+are all attribute lookups plus a no-op call, so instrumented code paths
+cost effectively nothing when nobody asked for a trace.  Hot loops should
+still guard per-item work behind ``tracer.enabled`` /
+``Instrumentation.enabled``.
+
+The tracer is synchronous and single-writer by design: mining runs are
+single-threaded in the coordinating process (shard workers report numbers
+over their result channel instead of tracing directly), so a lock would
+buy nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, IO, List, Optional
+
+from .schema import SCHEMA_VERSION
+
+__all__ = ["NOOP_SPAN", "NOOP_TRACER", "NoopSpan", "NoopTracer", "Span", "Tracer"]
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to schema scalars (repr anything exotic)."""
+    cleaned: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, bool) or value is None or isinstance(value, str):
+            cleaned[key] = value
+        elif isinstance(value, int):
+            cleaned[key] = int(value)  # normalises IntEnum / numpy ints
+        elif isinstance(value, float):
+            cleaned[key] = float(value)
+        else:
+            cleaned[key] = repr(value)
+    return cleaned
+
+
+class Span:
+    """One open span; a context manager that emits itself on exit."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "ts", "_started", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.ts = time.time()
+        self._started = time.perf_counter()
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (recorded when the span closes)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close_span(self, time.perf_counter() - self._started)
+
+
+class Tracer:
+    """JSONL span emitter; see the module docstring.
+
+    Parameters
+    ----------
+    sink:
+        A writable text file object.  The tracer owns it only when built
+        via :meth:`to_path` (then :meth:`close` closes it).
+    producer:
+        Free-text origin label stamped into the ``meta`` header.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: IO[str], producer: str = "repro") -> None:
+        self._sink = sink
+        self._owns_sink = False
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.events_emitted = 0
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "meta",
+                "ts": time.time(),
+                "pid": os.getpid(),
+                "producer": producer,
+            }
+        )
+
+    @classmethod
+    def to_path(cls, path: str, producer: str = "repro") -> "Tracer":
+        """Open ``path`` for writing and trace into it."""
+        sink = open(path, "w", encoding="utf-8")
+        tracer = cls(sink, producer=producer)
+        tracer._owns_sink = True
+        return tracer
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child span of the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, name, self._next_id, parent, dict(attrs))
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _close_span(self, span: Span, duration: float) -> None:
+        # exception unwinding may close an outer span while inner noop /
+        # already-closed ids linger; pop everything above it
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "span",
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "ts": span.ts,
+                "dur": duration,
+                "attrs": _clean_attrs(span.attrs),
+            }
+        )
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        self._sink.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        """Flush and (when owning the sink) close the output file."""
+        try:
+            self._sink.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed sink
+            pass
+        if self._owns_sink:
+            try:
+                self._sink.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class NoopSpan:
+    """Shared do-nothing span; the disabled path's context manager."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        return None
+
+
+class NoopTracer:
+    """Disabled tracer: every span is the shared :data:`NOOP_SPAN`."""
+
+    enabled = False
+    events_emitted = 0
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: Any) -> NoopSpan:
+        return NOOP_SPAN
+
+    def close(self) -> None:
+        return None
+
+
+NOOP_SPAN = NoopSpan()
+NOOP_TRACER = NoopTracer()
