@@ -18,8 +18,9 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Set
 
-from ..core.candidates import apriori_join, apriori_prune, first_level_candidates
+from ..core.candidates import first_level_candidates
 from ..core.itemset import Itemset
+from ..core.kernel import make_kernel
 from ..core.lattice import maximal_elements
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult, MiningTimeout
@@ -35,12 +36,17 @@ from ..obs.instrument import NOOP, Instrumentation
 
 
 class Apriori:
-    """Classic levelwise frequent-itemset miner."""
+    """Classic levelwise frequent-itemset miner.
+
+    ``kernel`` selects the lattice kernel for candidate generation (see
+    :mod:`repro.core.kernel`); the default resolves to the bitmask kernel.
+    """
 
     name = "apriori"
 
-    def __init__(self, engine: str = "auto") -> None:
+    def __init__(self, engine: str = "auto", kernel: Optional[str] = None) -> None:
         self._engine = engine
+        self._kernel = kernel
 
     def mine(
         self,
@@ -70,6 +76,7 @@ class Apriori:
         )
         obs = obs if obs is not None else NOOP
         engine.obs = obs
+        lattice = make_kernel(self._kernel, db.universe)
         started = time.perf_counter()
 
         stats = MiningStats(algorithm=self.name)
@@ -127,7 +134,7 @@ class Apriori:
                         raise MiningTimeout(self.name, elapsed, stats)
                     with obs.span("generate"):
                         try:
-                            joined = apriori_join(
+                            joined = lattice.apriori_join(
                                 level_frequents, deadline=engine.deadline
                             )
                         except CountingDeadline:
@@ -137,7 +144,7 @@ class Apriori:
                                 self.name, elapsed, stats
                             ) from None
                         candidates = sorted(
-                            apriori_prune(joined, set(level_frequents))
+                            lattice.apriori_prune(joined, level_frequents)
                         )
                     pass_stats.seconds = time.perf_counter() - pass_started
                     if obs.enabled:
@@ -195,6 +202,7 @@ def apriori(
     *,
     min_count: Optional[int] = None,
     engine: str = "auto",
+    kernel: Optional[str] = None,
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`Apriori`.
 
@@ -203,4 +211,6 @@ def apriori(
     >>> sorted(apriori(db, 0.5).mfs)
     [(1, 2, 3)]
     """
-    return Apriori(engine=engine).mine(db, min_support, min_count=min_count)
+    return Apriori(engine=engine, kernel=kernel).mine(
+        db, min_support, min_count=min_count
+    )

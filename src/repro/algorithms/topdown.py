@@ -23,7 +23,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..core.itemset import Itemset
-from ..core.mfcs import MFCS
+from ..core.kernel import make_kernel
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
@@ -42,9 +42,15 @@ class TopDown:
 
     name = "top-down"
 
-    def __init__(self, engine: str = "auto", max_frontier: int = 200_000) -> None:
+    def __init__(
+        self,
+        engine: str = "auto",
+        max_frontier: int = 200_000,
+        kernel: Optional[str] = None,
+    ) -> None:
         self._engine = engine
         self._max_frontier = max_frontier
+        self._kernel = kernel
 
     def mine(
         self,
@@ -69,7 +75,8 @@ class TopDown:
         stats = MiningStats(algorithm=self.name)
         supports: Dict[Itemset, int] = {}
         mfs: set = set()
-        frontier = MFCS.for_universe(db.universe)
+        lattice = make_kernel(self._kernel, db.universe)
+        frontier = lattice.make_mfcs(db.universe)
         pass_number = 0
 
         run_span = obs.span(

@@ -21,6 +21,7 @@ from .algorithms.topdown import TopDown
 from .bench.experiments import ALL_EXPERIMENTS, build_database
 from .bench.harness import bench_budget, format_rows, run_sweep
 from .core.itemset import format_itemset
+from .core.kernel import KERNEL_NAMES
 from .core.pincer import PincerSearch
 from .datagen.configs import parse_name
 from .datagen.quest import QuestGenerator, generate
@@ -31,15 +32,15 @@ from .rules.from_mfs import rules_from_mfs
 from .rules.generation import interesting_rules
 
 
-def _make_miner(name: str, engine: str):
+def _make_miner(name: str, engine: str, kernel: "str | None" = None):
     if name == "pincer":
-        return PincerSearch(engine=engine, adaptive=True)
+        return PincerSearch(engine=engine, adaptive=True, kernel=kernel)
     if name == "pincer-pure":
-        return PincerSearch(engine=engine, adaptive=False)
+        return PincerSearch(engine=engine, adaptive=False, kernel=kernel)
     if name == "apriori":
-        return Apriori(engine=engine)
+        return Apriori(engine=engine, kernel=kernel)
     if name == "topdown":
-        return TopDown(engine=engine)
+        return TopDown(engine=engine, kernel=kernel)
     raise ValueError("unknown algorithm %r" % name)
 
 
@@ -77,6 +78,12 @@ def _add_mine_flags(parser: argparse.ArgumentParser) -> None:
         help="support-counting engine (auto: packed when NumPy is "
         "available and the database is large, else bitmap)",
     )
+    parser.add_argument(
+        "--kernel", default="auto",
+        choices=("auto",) + KERNEL_NAMES,
+        help="lattice kernel for candidate generation and MFS/MFCS "
+        "pruning (auto: REPRO_LATTICE_KERNEL or bitmask)",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -99,7 +106,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     db = io.load(args.input)
-    miner = _make_miner(args.algorithm, args.engine)
+    miner = _make_miner(args.algorithm, args.engine, args.kernel)
     result = miner.mine(db, args.min_support / 100.0, obs=args.obs)
     print(result.stats.summary())
     print("maximum frequent set (%d itemsets):" % len(result.mfs))
@@ -124,7 +131,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 def _cmd_rules(args: argparse.Namespace) -> int:
     db = io.load(args.input)
-    miner = _make_miner(args.algorithm, args.engine)
+    miner = _make_miner(args.algorithm, args.engine, args.kernel)
     result = miner.mine(db, args.min_support / 100.0, obs=args.obs)
     rules = rules_from_mfs(
         db, result, min_confidence=args.min_confidence / 100.0,

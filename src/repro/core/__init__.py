@@ -1,6 +1,7 @@
 """Core of the reproduction: itemset algebra, MFCS, and Pincer-Search."""
 
 from .adaptive import AdaptivePolicy, AlwaysMaintain, NeverMaintain
+from .bitset import ItemUniverse, candidate_upper_bound
 from .candidates import (
     apriori_join,
     apriori_prune,
@@ -9,9 +10,11 @@ from .candidates import (
     pincer_prune,
     recovery,
 )
-from .cover import CoverIndex
+from .cover import CoverIndex, MaskCover
 from .itemset import EMPTY, Itemset, itemset
+from .kernel import BitmaskKernel, LatticeKernel, TupleKernel, make_kernel
 from .mfcs import MFCS
+from .settrie import SetTrie
 from .pincer import PincerSearch, pincer_search, resolve_threshold
 from .predicate import PredicatePincer, maximal_satisfying_sets
 from .result import MiningResult, MiningTimeout
@@ -22,10 +25,16 @@ __all__ = [
     "EMPTY",
     "AdaptivePolicy",
     "AlwaysMaintain",
+    "BitmaskKernel",
     "CoverIndex",
     "InconsistentInstance",
+    "ItemUniverse",
     "Itemset",
+    "LatticeKernel",
     "MFCS",
+    "MaskCover",
+    "SetTrie",
+    "TupleKernel",
     "MiningResult",
     "MiningStats",
     "MiningTimeout",
@@ -36,9 +45,11 @@ __all__ = [
     "VersionSpace",
     "apriori_join",
     "apriori_prune",
+    "candidate_upper_bound",
     "first_level_candidates",
     "generate_candidates",
     "itemset",
+    "make_kernel",
     "pincer_prune",
     "pincer_search",
     "recovery",

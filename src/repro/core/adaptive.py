@@ -137,18 +137,40 @@ class AdaptivePolicy:
         num_frequent: int,
         num_counted: int,
         longest_maximal: int = 0,
+        mfcs_size: int = 0,
+        candidate_bound: "int | None" = None,
     ) -> bool:
-        """Pre-update check: is this pass's frequent fraction promising?
+        """Pre-update check: is this pass still worth an MFCS update?
 
         Called after the pass's candidates are classified but *before*
         MFCS-gen runs, so a hopeless (scattered) pass 2 skips the
-        expensive update altogether.  See ``frequent_ratio_floor``.
+        expensive update altogether.  Two triggers:
+
+        * the paper's frequent-fraction cue (``frequent_ratio_floor``);
+        * the Geerts–Goethals–Van den Bussche bound: ``candidate_bound``
+          (see :func:`repro.core.bitset.candidate_upper_bound`) is a
+          *provable* upper bound on the next bottom-up candidate count,
+          so ``mfcs_size > mfcs_ratio_cap * bound`` implies the end-of-pass
+          ratio trigger must also fire under MFCS-gen's usual growth —
+          this just fires it before the update instead of after.
         """
         if self._abandoned:
             return False
-        if pass_number != self.ratio_check_pass:
-            return True
         if longest_maximal > self.abandon_length_cap:
+            return True
+        if (
+            candidate_bound is not None
+            and pass_number >= self.min_passes
+            and mfcs_size > self.mfcs_ratio_cap * max(1, candidate_bound)
+        ):
+            logger.info(
+                "pass %d: |MFCS|=%d over %.1fx the candidate bound %d; "
+                "abandoning MFCS before the update",
+                pass_number, mfcs_size, self.mfcs_ratio_cap, candidate_bound,
+            )
+            self._abandoned = True
+            return False
+        if pass_number != self.ratio_check_pass:
             return True
         if num_counted < self.min_ratio_sample:
             return True
@@ -236,6 +258,8 @@ class AlwaysMaintain(AdaptivePolicy):
         num_frequent: int,
         num_counted: int,
         longest_maximal: int = 0,
+        mfcs_size: int = 0,
+        candidate_bound: "int | None" = None,
     ) -> bool:
         return True
 

@@ -16,6 +16,12 @@ Three building blocks from the paper's Sections 3.3 and 3.4:
   frequent when it is *either* in ``L_k`` *or* under an MFS element
   (amendment A3 in DESIGN.md; without it the paper's own Figure 2 example
   would lose the recovered candidate again).
+
+These free functions are the *tuple reference* semantics.  The miners call
+them through a pluggable :class:`~repro.core.kernel.LatticeKernel`: the
+default bitmask kernel reimplements each hot path as interned-mask algebra
+and is differentially tested against this module (DESIGN.md §8), so any
+behavioural change here must be mirrored there.
 """
 
 from __future__ import annotations

@@ -145,8 +145,274 @@ class CoverIndex:
         return accumulator
 
 
-def as_cover(family: object) -> CoverIndex:
-    """Coerce an iterable of itemsets (or a CoverIndex) into a CoverIndex."""
-    if isinstance(family, CoverIndex):
-        return family
+#: bit positions set in each byte value, for byte-at-a-time mask walks
+_BYTE_BITS = tuple(
+    tuple(position for position in range(8) if byte >> position & 1)
+    for byte in range(256)
+)
+
+
+class MaskCover:
+    """Mask-native inverted cover index over one :class:`ItemUniverse`.
+
+    The same inverted-index idea as :class:`CoverIndex` — per-item bitmaps
+    of member slots, queries are early-exit ANDs — but members and probes
+    are the kernel's interned *masks*, which changes the cost model in two
+    ways that matter to MFCS-gen:
+
+    * ``discard_mask`` is O(1): the slot's bit leaves the ``alive`` mask
+      and its per-item table bits go *stale* instead of being scrubbed
+      (queries always AND with ``alive``, so stale bits are invisible);
+    * ``add_mask`` scrubs lazily on slot reuse, paying only for the XOR
+      between the stale mask and the new member.  MFCS-gen replaces an
+      element by subsets that differ from it in a single item, and the
+      freed slot is reused immediately — so the dominant
+      discard-element/add-replacement churn costs O(1) table updates
+      instead of O(|element|) per replacement.
+
+    Probes arrive as masks too (``covers_mask``/``supersets_masks``), so
+    the kernel's hot paths never materialise tuples; the tuple-facing
+    CoverIndex API is kept for the boundary and for drop-in container
+    compatibility.  Members outside the universe are delegated to a lazy
+    tuple-based :class:`CoverIndex` so behaviour matches CoverIndex on
+    every input.
+
+    ``queries``/``node_visits`` mirror :class:`~repro.core.settrie.SetTrie`
+    instrumentation: one query per cover question, one visit per item
+    bitmap examined before the early exit — the sub-linearity signal the
+    observability layer reports as ``mfcs.cover_*``.
+    """
+
+    def __init__(self, universe, members: Iterable[Itemset] = ()) -> None:
+        self._universe = universe
+        self._table: List[int] = [0] * len(universe)
+        self._masks: List[int] = []  # slot -> current (or stale) mask
+        self._slot_of: Dict[int, int] = {}  # member mask -> slot
+        self._alive = 0
+        self._free_slots: List[int] = []
+        self._foreign: Optional[CoverIndex] = None  # out-of-universe members
+        self.queries = 0
+        self.node_visits = 0
+        for member in members:
+            self.add(member)
+
+    @property
+    def universe(self):
+        """The :class:`~repro.core.bitset.ItemUniverse` masks refer to."""
+        return self._universe
+
+    @property
+    def has_foreign(self) -> bool:
+        """True when out-of-universe members live in the tuple side index.
+
+        Mask-level callers must fall back to the tuple API in that case —
+        ``covers_mask``/``supersets_masks`` see only in-universe members.
+        """
+        return bool(self._foreign)
+
+    # ------------------------------------------------------------------
+    # container protocol (tuple boundary)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        count = len(self._slot_of)
+        return count + len(self._foreign) if self._foreign else count
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self.members)
+
+    def __contains__(self, member: Itemset) -> bool:
+        mask = self._universe.raw_mask_of(member)
+        if mask is not None and mask in self._slot_of:
+            return True
+        return bool(self._foreign) and member in self._foreign
+
+    def __bool__(self) -> bool:
+        return bool(self._slot_of) or bool(self._foreign)
+
+    def __repr__(self) -> str:
+        return "MaskCover(%d members)" % len(self)
+
+    @property
+    def members(self) -> List[Itemset]:
+        """Snapshot of the current members, decoded through the universe."""
+        itemset_of = self._universe.itemset_of
+        decoded = [itemset_of(mask) for mask in self._slot_of]
+        if self._foreign:
+            decoded.extend(self._foreign.members)
+        return decoded
+
+    @property
+    def member_masks(self) -> List[int]:
+        """Snapshot of the in-universe member masks."""
+        return list(self._slot_of)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, member: Itemset) -> bool:
+        mask = self._universe.try_mask_of(member)
+        if mask is None:
+            if self._foreign is None:
+                self._foreign = CoverIndex()
+            return self._foreign.add(member)
+        return self.add_mask(mask)
+
+    def discard(self, member: Itemset) -> bool:
+        mask = self._universe.raw_mask_of(member)
+        if mask is not None and self.discard_mask(mask):
+            return True
+        return bool(self._foreign) and self._foreign.discard(member)
+
+    def add_mask(self, mask: int) -> bool:
+        """Insert a member mask; returns False if already present."""
+        if mask in self._slot_of:
+            return False
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            stale = self._masks[slot]
+            self._masks[slot] = mask
+        else:
+            slot = len(self._masks)
+            stale = 0
+            self._masks.append(mask)
+        self._slot_of[mask] = slot
+        bit = 1 << slot
+        self._alive |= bit
+        table = self._table
+        # scrub-on-reuse: only the symmetric difference with the stale
+        # mask needs table edits — O(1) for MFCS-gen's one-item splits
+        to_set = mask & ~stale
+        while to_set:
+            low = to_set & -to_set
+            to_set ^= low
+            table[low.bit_length() - 1] |= bit
+        to_clear = stale & ~mask
+        not_bit = ~bit
+        while to_clear:
+            low = to_clear & -to_clear
+            to_clear ^= low
+            table[low.bit_length() - 1] &= not_bit
+        return True
+
+    def discard_mask(self, mask: int) -> bool:
+        """Remove a member mask in O(1); table bits are scrubbed on reuse."""
+        slot = self._slot_of.pop(mask, None)
+        if slot is None:
+            return False
+        self._alive &= ~(1 << slot)
+        self._free_slots.append(slot)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def covers(self, probe: Itemset) -> bool:
+        mask = self._universe.raw_mask_of(probe)
+        if mask is not None and self.covers_mask(mask):
+            return True
+        return bool(self._foreign) and self._foreign.covers(probe)
+
+    def covers_strictly(self, probe: Itemset) -> bool:
+        """True iff some member is a *proper* superset of ``probe``."""
+        mask = self._universe.raw_mask_of(probe)
+        if mask is not None:
+            matches = self._matches_mask(mask)
+            slot = self._slot_of.get(mask)
+            if slot is not None:
+                matches &= ~(1 << slot)
+            if matches:
+                return True
+        return bool(self._foreign) and self._foreign.covers_strictly(probe)
+
+    def supersets_of(self, probe: Itemset) -> List[Itemset]:
+        mask = self._universe.raw_mask_of(probe)
+        found: List[Itemset] = []
+        if mask is not None:
+            itemset_of = self._universe.itemset_of
+            found = [
+                itemset_of(member) for member in self.supersets_masks(mask)
+            ]
+        if self._foreign:
+            found.extend(self._foreign.supersets_of(probe))
+        return found
+
+    def covers_mask(self, probe_mask: int) -> bool:
+        """True iff some in-universe member mask contains ``probe_mask``."""
+        return self._matches_mask(probe_mask) != 0
+
+    def supersets_masks(self, probe_mask: int) -> List[int]:
+        """All in-universe member masks containing ``probe_mask``."""
+        matches = self._matches_mask(probe_mask)
+        masks = self._masks
+        found: List[int] = []
+        while matches:
+            low = matches & -matches
+            matches ^= low
+            found.append(masks[low.bit_length() - 1])
+        return found
+
+    #: item-bitmap probes before switching to direct witness verification
+    _PROBE_CUTOFF = 8
+
+    def _matches_mask(self, probe_mask: int) -> int:
+        self.queries += 1
+        accumulator = self._alive
+        if not accumulator:
+            return 0
+        table = self._table
+        byte_bits = _BYTE_BITS
+        visits = 0
+        base = 0
+        # one C-level conversion, then a small-int walk: extracting bits
+        # straight off the (universe-wide) probe int would re-allocate a
+        # multi-word integer several times per visited bit
+        data = probe_mask.to_bytes((probe_mask.bit_length() + 7) // 8, "little")
+        for byte in data:
+            if byte:
+                positions = byte_bits[byte]
+                visits += len(positions)
+                for position in positions:
+                    accumulator &= table[base + position]
+                    if not accumulator:
+                        self.node_visits += visits
+                        return 0
+                if visits >= self._PROBE_CUTOFF:
+                    break
+            base += 8
+        else:
+            self.node_visits += visits
+            return accumulator
+        # the first CUTOFF item bitmaps thinned the slots to a handful of
+        # candidates; verifying each directly (one wide ANDNOT) beats
+        # walking the remaining probe items — a *positive* query can never
+        # early-exit the item walk, so long covered probes would otherwise
+        # pay one bitmap AND per item they contain
+        masks = self._masks
+        matches = 0
+        remaining = accumulator
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            visits += 1
+            if not probe_mask & ~masks[low.bit_length() - 1]:
+                matches |= low
+        self.node_visits += visits
+        return matches
+
+
+def as_cover(family: object) -> "CoverIndex":
+    """Coerce an iterable of itemsets into a cover-query structure.
+
+    Anything already answering the cover protocol (``covers`` +
+    ``supersets_of`` — a :class:`CoverIndex`, a
+    :class:`~repro.core.settrie.SetTrie`, or an
+    :class:`~repro.core.mfcs.MFCS`) passes through untouched, so callers
+    keep whatever query complexity the active lattice kernel chose for
+    the family.  Plain iterables are indexed into a fresh CoverIndex.
+    """
+    if hasattr(family, "covers") and hasattr(family, "supersets_of"):
+        return family  # type: ignore[return-value]
     return CoverIndex(family)  # type: ignore[arg-type]

@@ -15,6 +15,12 @@ sorted tuples gives three properties the algorithms rely on:
 
 This module is intentionally free of any database or algorithm knowledge —
 it is the shared vocabulary of everything else in :mod:`repro`.
+
+The tuple is the *interface* representation.  The lattice hot paths
+(candidate generation, MFS/MFCS pruning) may additionally intern itemsets
+as integer bitmasks behind :mod:`repro.core.kernel`; masks never leak
+through any public API, and every function here remains the semantic
+reference the kernels are differentially tested against.
 """
 
 from __future__ import annotations

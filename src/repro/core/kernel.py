@@ -1,0 +1,384 @@
+"""Pluggable lattice kernels: tuple fallback vs interned bitmask algebra.
+
+PR 1 made support counting fast enough that the per-pass bottleneck moved
+to the pure-Python *lattice* side: the Apriori join, the new prune, the
+recovery procedure, and MFCS-gen.  All of them operate on the public
+canonical-tuple vocabulary (:mod:`repro.core.itemset`), whose subset tests
+and ``k``-subset enumerations are linear-in-``k`` tuple churn per probe.
+
+A :class:`LatticeKernel` bundles those hot paths behind one interface so
+the miners can swap implementations:
+
+:class:`TupleKernel`
+    The seed behaviour, verbatim: the free functions of
+    :mod:`repro.core.candidates` plus :class:`~repro.core.cover.CoverIndex`
+    families.  Kept as the differential-testing reference and as the
+    fallback for exotic inputs.
+
+:class:`BitmaskKernel`
+    The fast path.  A per-run :class:`~repro.core.bitset.ItemUniverse`
+    interns every itemset as an ``int`` mask, and the hot paths become
+    integer algebra executed in C:
+
+    * ``apriori_join`` buckets ``L_k`` by ``(k-1)``-prefix and emits
+      ``prefix + (a, b)`` pairs per bucket — the seed's pairwise scan
+      re-slices and re-compares tuple prefixes for every pair;
+    * ``apriori_prune`` / ``pincer_prune`` test each ``k``-subset by
+      clearing one bit (``mask ^ bit``) and probing a set of frequent
+      masks — candidates are encoded uncached
+      (:meth:`~repro.core.bitset.ItemUniverse.raw_mask_of`) so the
+      throwaway fire-hose never touches the interning caches, and no
+      subset tuples are materialised at all when the MFS cover is
+      mask-native;
+    * the MFS and MFCS families live in a
+      :class:`~repro.core.cover.MaskCover` — the inverted cover index
+      rebuilt on masks, with O(1) lazy discards and scrub-on-reuse
+      inserts — so MFCS-gen splits shrink to mask ANDNOT plus constant
+      table edits (see :class:`~repro.core.mfcs.MFCS`).  The guard-masked
+      :class:`~repro.core.settrie.SetTrie` offers the same cover protocol
+      with trie-shaped sharing for memory-lean or short-probe workloads.
+
+Both kernels consume and produce plain canonical tuples — masks never
+escape — so every existing API keeps its types and the two kernels are
+interchangeable, which the differential tests exploit.  Selection:
+:func:`make_kernel` resolves ``None``/"auto" to the ``REPRO_LATTICE_KERNEL``
+environment variable, defaulting to ``bitmask``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from itertools import combinations
+from typing import Iterable, List, Optional, Set
+
+from .._types import CountingDeadline
+from . import candidates as _tuple_ops
+from .bitset import ItemUniverse
+from .cover import CoverIndex, MaskCover, as_cover
+from .itemset import Itemset, k_subsets
+from .mfcs import MFCS
+
+__all__ = [
+    "BitmaskKernel",
+    "DEFAULT_KERNEL",
+    "KERNEL_ENV_VAR",
+    "KERNEL_NAMES",
+    "LatticeKernel",
+    "TupleKernel",
+    "make_kernel",
+    "resolve_kernel_name",
+]
+
+KERNEL_NAMES = ("tuple", "bitmask")
+DEFAULT_KERNEL = "bitmask"
+KERNEL_ENV_VAR = "REPRO_LATTICE_KERNEL"
+
+
+class LatticeKernel:
+    """Interface of a lattice kernel (see module docstring).
+
+    Concrete kernels provide candidate generation (join, prune, recovery)
+    and factories for the cover/MFCS structures whose query cost the
+    kernel controls.  All methods speak canonical tuples.
+    """
+
+    name = "abstract"
+
+    def make_cover(self, members: Iterable[Itemset] = ()):
+        raise NotImplementedError
+
+    def make_mfcs(self, universe: Iterable[int]) -> MFCS:
+        raise NotImplementedError
+
+    def apriori_join(
+        self,
+        level_frequents: Iterable[Itemset],
+        deadline: "float | None" = None,
+    ) -> Set[Itemset]:
+        raise NotImplementedError
+
+    def apriori_prune(
+        self,
+        candidates: Iterable[Itemset],
+        level_frequents: Iterable[Itemset],
+    ) -> Set[Itemset]:
+        raise NotImplementedError
+
+    def recovery(
+        self,
+        level_frequents: Iterable[Itemset],
+        mfs: Iterable[Itemset],
+        k: int,
+    ) -> Set[Itemset]:
+        raise NotImplementedError
+
+    def pincer_prune(
+        self,
+        candidates: Iterable[Itemset],
+        level_frequents: Iterable[Itemset],
+        mfs: Iterable[Itemset],
+    ) -> Set[Itemset]:
+        raise NotImplementedError
+
+    def generate_candidates(
+        self,
+        level_frequents: Iterable[Itemset],
+        mfs: Iterable[Itemset],
+        k: int,
+    ) -> Set[Itemset]:
+        """Pincer-Search's full candidate generation: join+recovery+prune."""
+        frequents = list(level_frequents)
+        mfs_cover = as_cover(mfs)
+        found = self.apriori_join(frequents)
+        if mfs_cover and frequents:
+            found |= self.recovery(frequents, mfs_cover, k)
+        return self.pincer_prune(found, frequents, mfs_cover)
+
+
+class TupleKernel(LatticeKernel):
+    """Seed tuple-algebra kernel — the differential-testing reference."""
+
+    name = "tuple"
+
+    def make_cover(self, members: Iterable[Itemset] = ()) -> CoverIndex:
+        return CoverIndex(members)
+
+    def make_mfcs(self, universe: Iterable[int]) -> MFCS:
+        return MFCS.for_universe(universe)
+
+    def apriori_join(self, level_frequents, deadline=None):
+        return _tuple_ops.apriori_join(level_frequents, deadline=deadline)
+
+    def apriori_prune(self, candidates, level_frequents):
+        return _tuple_ops.apriori_prune(candidates, set(level_frequents))
+
+    def recovery(self, level_frequents, mfs, k):
+        return _tuple_ops.recovery(level_frequents, mfs, k)
+
+    def pincer_prune(self, candidates, level_frequents, mfs):
+        return _tuple_ops.pincer_prune(candidates, set(level_frequents), mfs)
+
+
+class BitmaskKernel(LatticeKernel):
+    """Interned-bitmask kernel over one run's :class:`ItemUniverse`.
+
+    Inputs containing items outside the universe (possible when the free
+    functions are driven directly in tests) fall back to the tuple
+    implementations rather than failing — the kernels must agree on every
+    input, not just well-formed mining states.
+    """
+
+    name = "bitmask"
+
+    def __init__(self, universe: Iterable[int]) -> None:
+        self.universe = (
+            universe
+            if isinstance(universe, ItemUniverse)
+            else ItemUniverse(universe)
+        )
+
+    def make_cover(self, members: Iterable[Itemset] = ()) -> MaskCover:
+        return MaskCover(self.universe, members)
+
+    def make_mfcs(self, universe: Iterable[int]) -> MFCS:
+        return MFCS.for_universe(universe, kernel=self)
+
+    def _mask_cover(self, cover) -> "Optional[MaskCover]":
+        """``cover`` as a mask-queryable view of *this* universe, or None."""
+        if (
+            isinstance(cover, MaskCover)
+            and cover.universe is self.universe
+            and not cover.has_foreign
+        ):
+            return cover
+        return None
+
+    # ------------------------------------------------------------------
+    # candidate generation
+    # ------------------------------------------------------------------
+
+    def apriori_join(self, level_frequents, deadline=None):
+        """Prefix-bucketed join: identical output to the pairwise scan.
+
+        ``L_k`` sorts once; equal ``(k-1)``-prefixes are then adjacent, so
+        one linear sweep groups the final items into per-prefix buckets
+        and each bucket contributes ``C(|bucket|, 2)`` candidates without
+        ever re-slicing or re-comparing prefixes.
+        """
+        ordered = sorted(level_frequents)
+        if not ordered:
+            return set()
+        lengths = {len(itemset_) for itemset_ in ordered}
+        if len(lengths) != 1:
+            raise ValueError("join requires itemsets of a single length")
+        prefix_length = lengths.pop() - 1
+        buckets: List = []
+        previous = None
+        tails: List[int] = []
+        for itemset_ in ordered:
+            prefix = itemset_[:prefix_length]
+            if prefix != previous:
+                tails = []
+                buckets.append((prefix, tails))
+                previous = prefix
+            tails.append(itemset_[prefix_length])
+        found: Set[Itemset] = set()
+        if deadline is None:
+            update = found.update
+            for prefix, tails in buckets:
+                if prefix:
+                    update(prefix + pair for pair in combinations(tails, 2))
+                else:
+                    # k = 1: the pairs *are* the candidates — bulk-load
+                    # the combinations iterator without per-pair concat
+                    update(combinations(tails, 2))
+            return found
+        add = found.add
+        ticks = 0
+        for prefix, tails in buckets:
+            for index in range(len(tails) - 1):
+                ticks += 1
+                if ticks % 256 == 0 and time.perf_counter() > deadline:
+                    raise CountingDeadline("join passed its deadline")
+                first = tails[index]
+                for second in tails[index + 1:]:
+                    add(prefix + (first, second))
+        return found
+
+    def apriori_prune(self, candidates, level_frequents):
+        frequents = list(level_frequents)
+        masks = self.universe.masks_of
+        try:
+            frequent_masks = set(masks(frequents))
+        except KeyError:
+            return _tuple_ops.apriori_prune(candidates, set(frequents))
+        raw_mask_of = self.universe.raw_mask_of
+        kept: Set[Itemset] = set()
+        for candidate in candidates:
+            mask = raw_mask_of(candidate)
+            if mask is None:
+                # a foreign item: the subsets retaining it cannot be in
+                # the (all in-universe) frequent set
+                continue
+            remaining = mask
+            keep = True
+            while remaining:
+                bit = remaining & -remaining
+                remaining ^= bit
+                if mask ^ bit not in frequent_masks:
+                    keep = False
+                    break
+            if keep:
+                kept.add(candidate)
+        return kept
+
+    def recovery(self, level_frequents, mfs, k):
+        # the tuple procedure already queries through the cover; handing
+        # it a mask-native MFS keeps the supersets_of step sub-linear
+        return _tuple_ops.recovery(level_frequents, as_cover(mfs), k)
+
+    def pincer_prune(self, candidates, level_frequents, mfs):
+        mfs_cover = as_cover(mfs)
+        frequents = list(level_frequents)
+        try:
+            frequent_masks = set(self.universe.masks_of(frequents))
+        except KeyError:
+            return _tuple_ops.pincer_prune(candidates, set(frequents), mfs_cover)
+        raw_mask_of = self.universe.raw_mask_of
+        itemset_of = self.universe.itemset_of
+        covers = mfs_cover.covers
+        mask_view = self._mask_cover(mfs_cover)
+        covers_mask = mask_view.covers_mask if mask_view is not None else None
+        has_cover = bool(mfs_cover)
+        kept: Set[Itemset] = set()
+        frequent_set: Optional[Set[Itemset]] = None  # built only on fallback
+        for candidate in candidates:
+            mask = raw_mask_of(candidate)
+            if mask is None:
+                if covers(candidate):
+                    continue
+                if frequent_set is None:
+                    frequent_set = set(frequents)
+                if all(
+                    subset in frequent_set or covers(subset)
+                    for subset in k_subsets(candidate, len(candidate) - 1)
+                ):
+                    kept.add(candidate)
+                continue
+            if has_cover:
+                # already under a maximal itemset (Observation 2)?
+                if covers_mask is not None:
+                    if covers_mask(mask):
+                        continue
+                elif covers(candidate):
+                    continue
+            remaining = mask
+            keep = True
+            while remaining:
+                bit = remaining & -remaining
+                remaining ^= bit
+                subset_mask = mask ^ bit
+                if subset_mask in frequent_masks:
+                    continue
+                if not has_cover:
+                    keep = False
+                    break
+                if covers_mask is not None:
+                    if covers_mask(subset_mask):
+                        continue
+                elif covers(itemset_of(subset_mask)):
+                    continue
+                keep = False
+                break
+            if keep:
+                kept.add(candidate)
+        return kept
+
+    def generate_candidates(self, level_frequents, mfs, k):
+        frequents = list(level_frequents)
+        mfs_cover = as_cover(mfs)
+        if k == 1 and not mfs_cover:
+            # every pair's 1-subsets are its two (frequent) parents and
+            # there is no MFS to prune under, so the join output already
+            # *is* the pruned candidate set — the paper's "no candidate
+            # generation process for 2-itemsets is needed"
+            return self.apriori_join(frequents)
+        found = self.apriori_join(frequents)
+        if mfs_cover and frequents:
+            found |= self.recovery(frequents, mfs_cover, k)
+        return self.pincer_prune(found, frequents, mfs_cover)
+
+
+def resolve_kernel_name(name: Optional[str] = None) -> str:
+    """Normalise a kernel name; ``None``/"auto" honours the environment.
+
+    >>> resolve_kernel_name("tuple")
+    'tuple'
+    >>> resolve_kernel_name(None) in KERNEL_NAMES
+    True
+    """
+    if name is None or name == "auto":
+        name = os.environ.get(KERNEL_ENV_VAR, "").strip().lower() or DEFAULT_KERNEL
+    if name not in KERNEL_NAMES:
+        raise ValueError(
+            "unknown lattice kernel %r (choose from %s)"
+            % (name, ", ".join(KERNEL_NAMES))
+        )
+    return name
+
+
+def make_kernel(
+    name: "Optional[str] | LatticeKernel", universe: Iterable[int]
+) -> LatticeKernel:
+    """Build the kernel ``name`` for a run over ``universe`` items.
+
+    A :class:`LatticeKernel` *instance* passes through unchanged, which is
+    how the lattice benchmark injects its recording kernel into a miner.
+    """
+    if isinstance(name, LatticeKernel):
+        return name
+    resolved = resolve_kernel_name(name)
+    if resolved == "tuple":
+        return TupleKernel()
+    return BitmaskKernel(universe)

@@ -37,7 +37,6 @@ the Apriori join as known-frequent itemsets and are never re-counted.
 from __future__ import annotations
 
 import time
-from itertools import combinations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..db.counting import SupportCounter, get_counter, select_engine
@@ -45,11 +44,11 @@ from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
 from ..obs.logsetup import get_logger
 from .adaptive import AdaptivePolicy, AlwaysMaintain
-from .candidates import apriori_join, first_level_candidates, generate_candidates
-from .cover import CoverIndex
+from .bitset import candidate_upper_bound
+from .candidates import first_level_candidates
 from .itemset import Itemset
+from .kernel import LatticeKernel, make_kernel
 from .lattice import maximal_elements
-from .mfcs import MFCS
 from .result import MiningResult
 from .stats import MiningStats, PassStats
 
@@ -79,6 +78,11 @@ class PincerSearch:
         infrequent (the MFCS cover includes every frequent itemset at all
         times), so this never changes the result — only the candidate
         counts.  Off by default for paper fidelity.
+    kernel:
+        Lattice-kernel name (see :mod:`repro.core.kernel`): ``"bitmask"``
+        (interned masks, the default), ``"tuple"`` (the seed fallback), or
+        ``"auto"``/None to honour ``REPRO_LATTICE_KERNEL``.  Both kernels
+        produce identical results; the differential tests rely on it.
     """
 
     def __init__(
@@ -87,11 +91,13 @@ class PincerSearch:
         adaptive: bool = True,
         policy: Optional[AdaptivePolicy] = None,
         prune_uncovered: bool = False,
+        kernel: Optional[str] = None,
     ) -> None:
         self._engine = engine
         self._adaptive = adaptive
         self._policy_prototype = policy
         self._prune_uncovered = prune_uncovered
+        self._kernel = kernel
 
     @property
     def name(self) -> str:
@@ -133,13 +139,14 @@ class PincerSearch:
         obs = obs if obs is not None else NOOP
         engine.obs = obs
         policy = self._make_policy()
+        lattice = make_kernel(self._kernel, db.universe)
         started = time.perf_counter()
 
         stats = MiningStats(algorithm=self.name)
         supports: Dict[Itemset, int] = {}
         mfs: Set[Itemset] = set()
-        mfs_cover = CoverIndex()
-        mfcs = MFCS.for_universe(db.universe)
+        mfs_cover = lattice.make_cover()
+        mfcs = lattice.make_mfcs(db.universe)
         maintaining = policy.keep_mfcs(0, len(mfcs), 0, 0)
         candidates: List[Itemset] = first_level_candidates(db.universe)
         # every itemset known frequent, counted or virtual (MFS-implied)
@@ -151,6 +158,7 @@ class PincerSearch:
             "run",
             algorithm=self.name,
             engine=engine.name,
+            kernel=lattice.name,
             num_transactions=len(db),
             min_support_count=threshold,
         )
@@ -165,6 +173,8 @@ class PincerSearch:
                 pass_started = time.perf_counter()
                 splits_before = mfcs.splits
                 exclusions_before = mfcs.exclusions
+                cover_queries_before = mfcs.cover_queries
+                cover_visits_before = mfcs.cover_node_visits
                 with obs.span("pass", k=k) as pass_span:
                     # ----- one database read: C_k plus unclassified MFCS
                     # elements (the engine emits the nested "count" span)
@@ -220,11 +230,16 @@ class PincerSearch:
                         frequents_seen.update(level_frequents)
 
                     # ----- pre-update adaptivity (Section 3.5's "many
-                    # 2-itemsets, few frequent" cue): a hopeless pass-2
-                    # ratio abandons the MFCS before the expensive
+                    # 2-itemsets, few frequent" cue, sharpened by the
+                    # Geerts–Goethals–Van den Bussche candidate bound): a
+                    # hopeless pass abandons the MFCS before the expensive
                     # MFCS-gen update even starts
+                    bound = candidate_upper_bound(len(level_frequents), k)
+                    if obs.enabled:
+                        pass_span.set(candidate_bound=bound)
                     maintaining = policy.keep_after_classification(
-                        k, len(frequent_in_ck), len(candidates), longest_maximal
+                        k, len(frequent_in_ck), len(candidates), longest_maximal,
+                        mfcs_size=len(mfcs), candidate_bound=bound,
                     )
                     if not maintaining:
                         pass_stats.mfcs_size_after = 0
@@ -235,6 +250,8 @@ class PincerSearch:
                             obs, pass_span, pass_stats,
                             mfcs.splits - splits_before,
                             mfcs.exclusions - exclusions_before,
+                            mfcs.cover_queries - cover_queries_before,
+                            mfcs.cover_node_visits - cover_visits_before,
                         )
                         break
 
@@ -279,14 +296,15 @@ class PincerSearch:
                     # lines 10-13, §3.5)
                     if maintaining:
                         with obs.span("generate"):
-                            next_candidates = generate_candidates(
+                            next_candidates = lattice.generate_candidates(
                                 level_frequents, mfs_cover, k
                             )
                             if mfs:
                                 with obs.span("recover"):
                                     pass_stats.recovered_candidates = (
                                         _count_recovered(
-                                            level_frequents, next_candidates
+                                            lattice, level_frequents,
+                                            next_candidates,
                                         )
                                     )
                             if self._prune_uncovered:
@@ -311,6 +329,8 @@ class PincerSearch:
                         obs, pass_span, pass_stats,
                         mfcs.splits - splits_before,
                         mfcs.exclusions - exclusions_before,
+                        mfcs.cover_queries - cover_queries_before,
+                        mfcs.cover_node_visits - cover_visits_before,
                     )
 
             if not maintaining:
@@ -335,7 +355,7 @@ class PincerSearch:
                 start_level = k if not mfs else None
                 self._complete_bottom_up(
                     db, engine, supports, threshold, mfs_cover, frequents_seen,
-                    stats, k, start_level, obs=obs,
+                    stats, k, start_level, obs=obs, lattice=lattice,
                 )
 
             final_mfs = maximal_elements(mfs | frequents_seen)
@@ -369,6 +389,8 @@ class PincerSearch:
         pass_stats: PassStats,
         splits: int,
         exclusions: int,
+        cover_queries: int = 0,
+        cover_node_visits: int = 0,
     ) -> None:
         """Record one finished pass on its span and in the registry."""
         logger.debug(
@@ -399,6 +421,8 @@ class PincerSearch:
         )
         obs.counter("mfcs.splits").inc(splits)
         obs.counter("mfcs.exclusions").inc(exclusions)
+        obs.counter("mfcs.cover_queries").inc(cover_queries)
+        obs.counter("mfcs.cover_node_visits").inc(cover_node_visits)
         obs.gauge("mfcs.size").set(pass_stats.mfcs_size_after)
 
     # ------------------------------------------------------------------
@@ -409,12 +433,13 @@ class PincerSearch:
         engine: SupportCounter,
         supports: Dict[Itemset, int],
         threshold: int,
-        mfs_cover: CoverIndex,
+        mfs_cover,
         frequents_seen: Set[Itemset],
         stats: MiningStats,
         pass_number: int,
         start_level: Optional[int] = None,
         obs: Instrumentation = NOOP,
+        lattice: Optional[LatticeKernel] = None,
     ) -> None:
         """Apriori with a frequency oracle — the post-abandonment sweep.
 
@@ -432,6 +457,8 @@ class PincerSearch:
         i.e. the MFS was still empty at abandonment); None rebuilds from
         level 1.
         """
+        if lattice is None:
+            lattice = make_kernel(None, db.universe)
         if start_level is not None and start_level >= 1:
             current = sorted(
                 f for f in frequents_seen if len(f) == start_level
@@ -445,15 +472,8 @@ class PincerSearch:
             if level == 1:
                 candidates = first_level_candidates(db.universe)
             else:
-                joined = apriori_join(current)
-                current_set = set(current)
-                candidates = sorted(
-                    c
-                    for c in joined
-                    if all(
-                        s in current_set for s in combinations(c, level - 1)
-                    )
-                )
+                joined = lattice.apriori_join(current)
+                candidates = sorted(lattice.apriori_prune(joined, current))
             if not candidates:
                 break
             frequent: List[Itemset] = []
@@ -492,10 +512,12 @@ class PincerSearch:
 
 
 def _count_recovered(
-    level_frequents: List[Itemset], next_candidates: Set[Itemset]
+    lattice: LatticeKernel,
+    level_frequents: List[Itemset],
+    next_candidates: Set[Itemset],
 ) -> int:
     """How many surviving candidates the plain join alone missed."""
-    plain = apriori_join(level_frequents)
+    plain = lattice.apriori_join(level_frequents)
     return sum(1 for candidate in next_candidates if candidate not in plain)
 
 
@@ -524,6 +546,7 @@ def pincer_search(
     adaptive: bool = True,
     policy: Optional[AdaptivePolicy] = None,
     prune_uncovered: bool = False,
+    kernel: Optional[str] = None,
     obs: Optional[Instrumentation] = None,
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`PincerSearch`.
@@ -538,5 +561,6 @@ def pincer_search(
         adaptive=adaptive,
         policy=policy,
         prune_uncovered=prune_uncovered,
+        kernel=kernel,
     )
     return miner.mine(db, min_support, min_count=min_count, obs=obs)

@@ -26,11 +26,11 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Callable, Dict, Iterable, List, Set, Tuple
 
-from .candidates import first_level_candidates, generate_candidates
+from .candidates import first_level_candidates
 from .cover import CoverIndex
 from .itemset import Itemset
+from .kernel import make_kernel
 from .lattice import maximal_elements
-from .mfcs import MFCS
 
 #: An anti-monotone predicate over canonical itemsets.
 Predicate = Callable[[Itemset], bool]
@@ -63,13 +63,20 @@ class PredicatePincer:
         raises on a violation.
     check_antimonotone:
         Disable the on-the-fly verification for speed.
+    kernel:
+        Lattice-kernel name (see :mod:`repro.core.kernel`); None resolves
+        to the default (bitmask) kernel.
     """
 
     def __init__(
-        self, predicate: Predicate, check_antimonotone: bool = True
+        self,
+        predicate: Predicate,
+        check_antimonotone: bool = True,
+        kernel: "str | None" = None,
     ) -> None:
         self._predicate = predicate
         self._check = check_antimonotone
+        self._kernel = kernel
 
     # ------------------------------------------------------------------
 
@@ -93,8 +100,9 @@ class PredicatePincer:
 
         satisfied: Set[Itemset] = set()
         maximal: Set[Itemset] = set()
-        maximal_cover = CoverIndex()
-        mfcs = MFCS.for_universe(universe_set)
+        lattice = make_kernel(self._kernel, universe_set)
+        maximal_cover = lattice.make_cover()
+        mfcs = lattice.make_mfcs(universe_set)
         candidates: List[Itemset] = first_level_candidates(universe_set)
         k = 0
 
@@ -131,7 +139,7 @@ class PredicatePincer:
             mfcs.update(failing, protected=maximal_cover)
             mfcs.update(failing_frontier, protected=maximal_cover)
             candidates = sorted(
-                generate_candidates(level_true, maximal_cover, k)
+                lattice.generate_candidates(level_true, maximal_cover, k)
             )
 
         result = maximal_elements(maximal | satisfied)

@@ -1,0 +1,286 @@
+"""A maximality-friendly itemset trie with sub-linear superset queries.
+
+Both halves of Pincer-Search keep asking the same two questions about a
+*family* of itemsets: "is this probe a subset of some member?" (``covers``)
+and "which members contain this probe?" (``supersets_of``).  The seed
+answers them with :class:`~repro.core.cover.CoverIndex`, whose cost per
+query grows linearly with the family size (the AND runs over
+``|family|``-bit integers, one item at a time).
+
+:class:`SetTrie` is the sub-linear alternative the bitmask kernel routes
+those queries through: members are stored as root-to-terminal item paths
+(items ascending), so a superset search only descends into children whose
+item does not exceed the next probe item — subtrees that cannot complete
+the probe are never visited.  When constructed over an
+:class:`~repro.core.bitset.ItemUniverse` every node additionally carries a
+*guard mask*, the OR of all member masks in its subtree; a child whose
+guard lacks a still-needed probe bit is pruned with a single integer AND,
+which is what keeps long-probe queries (MFCS elements spanning most of the
+universe) from degenerating into full-depth walks.
+
+The structure is API-compatible with ``CoverIndex`` (``add`` / ``discard``
+/ ``covers`` / ``covers_strictly`` / ``supersets_of`` / ``members`` and
+the container protocol), so :class:`~repro.core.mfcs.MFCS` and the miners
+can swap one for the other.  ``queries`` and ``node_visits`` count the
+work actually done; the regression tests pin that visits stay sub-linear
+in the family size, and the miners surface them through the ``obs``
+metrics registry.  All traversals are iterative — member paths can be as
+deep as the universe (a fresh MFCS element spans it entirely), which
+recursive descent would push past the interpreter's stack limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .itemset import Itemset
+
+__all__ = ["SetTrie"]
+
+
+class _Node:
+    """One trie node: children keyed by item, member tuple if terminal."""
+
+    __slots__ = ("children", "member", "guard")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_Node"] = {}
+        self.member: Optional[Itemset] = None  # set iff terminal
+        self.guard = 0  # OR of member masks in this subtree (0 = unguarded)
+
+
+class SetTrie:
+    """Itemset family supporting sub-linear subset-cover queries.
+
+    >>> trie = SetTrie([(1, 2, 3), (2, 4)])
+    >>> trie.covers((1, 3))
+    True
+    >>> trie.covers((3, 4))
+    False
+    >>> sorted(trie.supersets_of((2,)))
+    [(1, 2, 3), (2, 4)]
+    """
+
+    def __init__(self, members=(), universe=None) -> None:
+        self._root = _Node()
+        self._members: Dict[Itemset, None] = {}  # insertion-ordered set
+        self._universe = universe
+        #: query accounting: one ``queries`` tick per covers /
+        #: covers_strictly / supersets_of call, one ``node_visits`` tick
+        #: per trie node actually inspected.  The sub-linearity regression
+        #: tests (and the ``mfcs.cover_*`` obs counters) read these.
+        self.queries = 0
+        self.node_visits = 0
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------
+    # container protocol (CoverIndex-compatible)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(list(self._members))
+
+    def __contains__(self, member: Itemset) -> bool:
+        return member in self._members
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __repr__(self) -> str:
+        return "SetTrie(%d members)" % len(self._members)
+
+    @property
+    def members(self) -> List[Itemset]:
+        """Snapshot of the current members (insertion order)."""
+        return list(self._members)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def _mask(self, itemset_: Itemset) -> int:
+        if self._universe is None:
+            return 0
+        mask = self._universe.try_mask_of(itemset_)
+        return 0 if mask is None else mask
+
+    def add(self, member: Itemset) -> bool:
+        """Insert a member; returns False if it was already present."""
+        if member in self._members:
+            return False
+        self._members[member] = None
+        mask = self._mask(member)
+        node = self._root
+        node.guard |= mask
+        for item in member:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node()
+                node.children[item] = child
+            child.guard |= mask
+            node = child
+        node.member = member
+        return True
+
+    def discard(self, member: Itemset) -> bool:
+        """Remove a member; returns False if it was not present.
+
+        Childless non-terminal nodes are pruned and guard masks recomputed
+        along the path, so queries never wander into dead subtrees.
+        """
+        if member not in self._members:
+            return False
+        path: List[_Node] = [self._root]
+        node = self._root
+        for item in member:
+            node = node.children[item]
+            path.append(node)
+        del self._members[member]
+        node.member = None
+        # prune childless tails, then refresh guards bottom-up
+        for depth in range(len(member), 0, -1):
+            child = path[depth]
+            if child.member is None and not child.children:
+                del path[depth - 1].children[member[depth - 1]]
+        if self._universe is not None:
+            for depth in range(len(member) - 1, -1, -1):
+                parent = path[depth]
+                guard = 0
+                if parent.member is not None:
+                    guard = self._mask(parent.member)
+                for grandchild in parent.children.values():
+                    guard |= grandchild.guard
+                parent.guard = guard
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def covers(self, probe: Itemset) -> bool:
+        """True iff some member is a superset of ``probe``.
+
+        The empty probe is covered whenever the family is non-empty.
+        """
+        self.queries += 1
+        if not self._members:
+            return False
+        if not probe:
+            return True
+        remaining = self._mask(probe)
+        if remaining and remaining & ~self._root.guard:
+            return False  # some probe item occurs in no member at all
+        limit = len(probe)
+        visits = 0
+        stack = [(self._root, 0, remaining)]
+        while stack:
+            node, position, rest = stack.pop()
+            wanted = probe[position]
+            last = position + 1 == limit
+            for item, child in node.children.items():
+                if item > wanted:
+                    continue  # items ascend along paths: wanted unreachable
+                visits += 1
+                if item == wanted:
+                    if last:
+                        self.node_visits += visits
+                        return True  # any member in this subtree ⊇ probe
+                    after = rest & ~(rest & -rest) if rest else 0
+                    if after and after & ~child.guard:
+                        continue  # guard: a needed bit is absent below
+                    stack.append((child, position + 1, after))
+                else:  # item < wanted: descend without consuming the probe
+                    if rest and rest & ~child.guard:
+                        continue
+                    stack.append((child, position, rest))
+        self.node_visits += visits
+        return False
+
+    def covers_strictly(self, probe: Itemset) -> bool:
+        """True iff some member is a *proper* superset of ``probe``."""
+        self.queries += 1
+        if not self._members:
+            return False
+        if not probe:
+            return any(member for member in self._members)
+        remaining = self._mask(probe)
+        if remaining and remaining & ~self._root.guard:
+            return False
+        limit = len(probe)
+        visits = 0
+        stack = [(self._root, 0, remaining, False)]
+        while stack:
+            node, position, rest, extra = stack.pop()
+            wanted = probe[position]
+            last = position + 1 == limit
+            for item, child in node.children.items():
+                if item > wanted:
+                    continue
+                visits += 1
+                if item == wanted:
+                    if last:
+                        # a proper superset needs one extra item: either
+                        # one was consumed on the way down, or the member
+                        # path continues past the probe
+                        if extra or child.children:
+                            self.node_visits += visits
+                            return True
+                        continue
+                    after = rest & ~(rest & -rest) if rest else 0
+                    if after and after & ~child.guard:
+                        continue
+                    stack.append((child, position + 1, after, extra))
+                else:
+                    if rest and rest & ~child.guard:
+                        continue
+                    stack.append((child, position, rest, True))
+        self.node_visits += visits
+        return False
+
+    def supersets_of(self, probe: Itemset) -> List[Itemset]:
+        """All members that contain ``probe``."""
+        self.queries += 1
+        found: List[Itemset] = []
+        if not self._members:
+            return found
+        remaining = self._mask(probe)
+        if remaining and remaining & ~self._root.guard:
+            return found
+        limit = len(probe)
+        visits = 0
+        stack = [(self._root, 0, remaining)]
+        collect: List[_Node] = []
+        while stack:
+            node, position, rest = stack.pop()
+            if position == limit:
+                collect.append(node)
+                continue
+            wanted = probe[position]
+            for item, child in node.children.items():
+                if item > wanted:
+                    continue
+                visits += 1
+                if item == wanted:
+                    after = rest & ~(rest & -rest) if rest else 0
+                    if after and after & ~child.guard:
+                        continue
+                    stack.append((child, position + 1, after))
+                else:
+                    if rest and rest & ~child.guard:
+                        continue
+                    stack.append((child, position, rest))
+        # every node in ``collect`` roots a subtree whose members all
+        # contain the probe; walk them iteratively (paths can be as deep
+        # as the universe)
+        while collect:
+            node = collect.pop()
+            visits += 1
+            if node.member is not None:
+                found.append(node.member)
+            collect.extend(node.children.values())
+        self.node_visits += visits
+        return found

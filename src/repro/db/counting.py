@@ -23,8 +23,9 @@ Engines provided:
     (:mod:`repro.db.trie`).
 ``bitmap``
     Vertical bitmaps: support is the popcount of the AND of the item
-    bitmaps, with consecutive sorted candidates sharing their running
-    prefix intersections (:class:`repro.db.vertical.PrefixIntersector`).
+    bitmaps, with candidates sharing prefix intersections through a
+    bounded LRU cache that persists across passes
+    (:class:`repro.db.vertical.LruPrefixCache`).
 ``packed``
     Vertical bitmaps packed into ``uint64`` NumPy words; whole candidate
     batches are counted with vectorized AND + popcount
@@ -44,6 +45,7 @@ the paper in Section 4.1.1) are :func:`count_singletons` and
 from __future__ import annotations
 
 import operator
+import weakref
 from collections import defaultdict
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence
@@ -54,7 +56,13 @@ from .hash_tree import HashTree
 from .parallel import ShardedCounter
 from .transaction_db import TransactionDatabase
 from .trie import CandidateTrie
-from .vertical import HAVE_NUMPY, PackedCounter, PrefixIntersector, popcount
+from .vertical import (
+    HAVE_NUMPY,
+    LruPrefixCache,
+    PackedCounter,
+    PrefixIntersector,
+    popcount,
+)
 
 __all__ = [
     "AUTO_PACKED_MIN_ROWS",
@@ -151,45 +159,81 @@ class BitmapCounter(SupportCounter):
 
     Support of ``{a, b, c}`` is ``popcount(bitmap[a] & bitmap[b] & bitmap[c])``.
     Candidates mentioning items outside the universe have support 0.
-    Counting walks the candidates in sorted order through a
-    :class:`~repro.db.vertical.PrefixIntersector`, so the running AND of a
-    shared ``(k-1)``-prefix is computed once per prefix, not once per
-    candidate.
+    Counting walks the candidates in sorted order through an
+    :class:`~repro.db.vertical.LruPrefixCache` that persists across passes
+    against the same database, so the running AND of a shared
+    ``(k-1)``-prefix is computed once per prefix — and the prefixes of
+    pass ``k+1`` (exactly the candidates of pass ``k``) start warm.  The
+    cache is bounded (LRU per prefix length), so long low-support runs
+    cannot grow it without limit; current size and evictions surface as
+    ``engine.prefix_cache.size`` / ``engine.prefix_cache.evictions``.
     """
 
     name = "bitmap"
 
+    #: per-level bound on the persistent prefix cache (entries per length)
+    CACHE_CAPACITY_PER_LEVEL = 4096
+
     def __init__(self) -> None:
         super().__init__()
-        #: cumulative :class:`PrefixIntersector` accounting across passes
+        #: cumulative :class:`LruPrefixCache` accounting across passes
         self.prefix_cache_hits = 0
         self.prefix_cache_misses = 0
+        self.prefix_cache_evictions = 0
+        self._cache: Optional[LruPrefixCache] = None
+        self._cache_db = None  # weakref to the db the cache was built for
+
+    def _cache_for(self, db: TransactionDatabase) -> LruPrefixCache:
+        """Persistent per-database prefix cache (weakref invalidation)."""
+        if (
+            self._cache is None
+            or self._cache_db is None
+            or self._cache_db() is not db
+        ):
+            bitmaps = db.item_bitmaps()
+            full = (1 << len(db)) - 1
+            self._cache = LruPrefixCache(
+                bitmaps.get,
+                operator.and_,
+                full,
+                capacity_per_level=self.CACHE_CAPACITY_PER_LEVEL,
+            )
+            self._cache_db = weakref.ref(db)
+        return self._cache
 
     def _count(
         self, db: TransactionDatabase, candidates: List[Itemset]
     ) -> Dict[Itemset, int]:
-        bitmaps = db.item_bitmaps()
-        full = (1 << len(db)) - 1
-        cache: PrefixIntersector[int] = PrefixIntersector(
-            bitmaps.get, operator.and_, full
-        )
+        cache = self._cache_for(db)
+        hits_before = cache.hits
+        misses_before = cache.misses
+        evictions_before = cache.evictions
         counts: Dict[Itemset, int] = {}
         for position, candidate in enumerate(sorted(candidates)):
             if position % 4096 == 0:
                 self._check_deadline()
             value = cache.intersection(candidate)
             counts[candidate] = popcount(value) if value is not None else 0
-        self.prefix_cache_hits += cache.hits
-        self.prefix_cache_misses += cache.misses
+        hits = cache.hits - hits_before
+        misses = cache.misses - misses_before
+        evictions = cache.evictions - evictions_before
+        self.prefix_cache_hits += hits
+        self.prefix_cache_misses += misses
+        self.prefix_cache_evictions += evictions
         if self.obs.enabled:
-            self.obs.counter("prefix_cache.hits").inc(cache.hits)
-            self.obs.counter("prefix_cache.misses").inc(cache.misses)
+            self.obs.counter("prefix_cache.hits").inc(hits)
+            self.obs.counter("prefix_cache.misses").inc(misses)
+            self.obs.counter("engine.prefix_cache.evictions").inc(evictions)
+            self.obs.gauge("engine.prefix_cache.size").set(cache.size)
         return {candidate: counts[candidate] for candidate in candidates}
 
     def reset(self) -> None:
         super().reset()
         self.prefix_cache_hits = 0
         self.prefix_cache_misses = 0
+        self.prefix_cache_evictions = 0
+        self._cache = None
+        self._cache_db = None
 
 
 _ENGINES = {

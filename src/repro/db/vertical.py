@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import operator
 import weakref
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from itertools import chain
 from typing import (
     Callable,
@@ -66,6 +66,7 @@ HAVE_NUMPY = _np is not None
 __all__ = [
     "HAVE_NUMPY",
     "IntBitmapIndex",
+    "LruPrefixCache",
     "PackedBitmapIndex",
     "PackedCounter",
     "PrefixIntersector",
@@ -166,6 +167,108 @@ class PrefixIntersector(Generic[Bitmap]):
             self._items.append(item)
             self._values.append(value)
         return self._values[-1]
+
+
+class LruPrefixCache(Generic[Bitmap]):
+    """Cross-pass prefix-intersection cache with bounded per-level LRU.
+
+    :class:`PrefixIntersector` is a *stack* memo: it only remembers the
+    prefixes of the most recent candidate, so its state is bounded but
+    dies with the batch.  This class keeps a persistent ``prefix ->
+    bitmap`` map instead, so pass ``k+1`` — whose ``k``-prefixes are
+    exactly the candidates counted in pass ``k`` — starts warm.
+
+    The map is partitioned by prefix length ("level") and each level is
+    an :class:`~collections.OrderedDict` evicting least-recently-used
+    entries past ``capacity_per_level``, so long low-support runs (many
+    passes, wide levels) cannot grow the cache unboundedly: total entries
+    are at most ``capacity_per_level x deepest level reached``.
+
+    Accounting matches :class:`PrefixIntersector`: a *hit* is a prefix
+    item-step served from the cache, a *miss* is one that had to be
+    combined; ``evictions`` counts entries dropped by the bound and
+    ``size`` is the current total entry count across levels.
+
+    >>> bitmaps = {1: 0b0111, 2: 0b0101, 3: 0b0110}
+    >>> cache = LruPrefixCache(bitmaps.get, operator.and_, 0b1111,
+    ...                        capacity_per_level=2)
+    >>> bin(cache.intersection((1, 2)))
+    '0b101'
+    >>> cache.intersection((1, 2)) == 0b0101  # served from cache
+    True
+    >>> cache.hits, cache.misses
+    (2, 2)
+    >>> _ = cache.intersection((1, 3)); _ = cache.intersection((2, 3))
+    >>> cache.size, cache.evictions  # level-2 bound of 2 evicted (1, 2)
+    (4, 1)
+    """
+
+    def __init__(
+        self,
+        lookup: Callable[[int], Optional[Bitmap]],
+        combine: Callable[[Bitmap, Bitmap], Bitmap],
+        top: Bitmap,
+        capacity_per_level: int = 4096,
+    ) -> None:
+        if capacity_per_level < 1:
+            raise ValueError("capacity_per_level must be >= 1")
+        self._lookup = lookup
+        self._combine = combine
+        self._top = top
+        self._capacity = capacity_per_level
+        self._levels: Dict[int, "OrderedDict[Itemset, Optional[Bitmap]]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def size(self) -> int:
+        """Current number of cached prefix entries across all levels."""
+        return sum(len(level) for level in self._levels.values())
+
+    def clear(self) -> None:
+        self._levels.clear()
+
+    def intersection(self, candidate: Itemset) -> Optional[Bitmap]:
+        """AND of the item bitmaps; None if any item has no bitmap."""
+        length = len(candidate)
+        if not length:
+            return self._top
+        value: Optional[Bitmap] = self._top
+        shared = 0
+        for depth in range(length, 0, -1):
+            level = self._levels.get(depth)
+            if level is None:
+                continue
+            cached = level.get(candidate[:depth], _MISSING)
+            if cached is not _MISSING:
+                level.move_to_end(candidate[:depth])
+                value = cached
+                shared = depth
+                break
+        self.hits += shared
+        self.misses += length - shared
+        for depth in range(shared, length):
+            if value is not None:
+                bitmap = self._lookup(candidate[depth])
+                value = (
+                    None if bitmap is None else self._combine(value, bitmap)
+                )
+            self._store(candidate[: depth + 1], value)
+        return value
+
+    def _store(self, prefix: Itemset, value: Optional[Bitmap]) -> None:
+        level = self._levels.setdefault(len(prefix), OrderedDict())
+        level[prefix] = value
+        level.move_to_end(prefix)
+        if len(level) > self._capacity:
+            level.popitem(last=False)
+            self.evictions += 1
+
+
+#: Cache-miss sentinel distinguishing "absent" from a cached ``None``
+#: (a prefix naming an out-of-universe item legitimately caches as None).
+_MISSING = object()
 
 
 def _int_bitmaps(

@@ -150,3 +150,45 @@ class TestEndToEndSmallScale:
             by_algo["pincer-search"].passes <= by_algo["apriori"].passes + 1
         )
         assert by_algo["pincer-search"].mfs_size == by_algo["apriori"].mfs_size
+
+
+class TestLatticeBench:
+    def test_record_and_replay_agree_across_kernels(self):
+        from repro.bench.lattice import record_events, replay_events
+        from repro.core.kernel import make_kernel
+
+        db = build_database(tiny_spec(), num_transactions=60)
+        events = record_events(db, 10.0)
+        assert events, "journal must not be empty"
+        universe = sorted(db.universe)
+        outputs = [
+            replay_events(events, make_kernel(name, universe))
+            for name in ("tuple", "bitmask")
+        ]
+        assert outputs[0] == outputs[1]
+
+    def test_run_lattice_benchmark_smoke(self):
+        from repro.bench.lattice import run_lattice_benchmark
+
+        record = run_lattice_benchmark(
+            database="T5.I2.D100K",
+            supports_percent=(10.0,),
+            scale=60,
+            repeats=1,
+        )
+        assert record["benchmark"] == "lattice-kernels"
+        assert set(record["totals"]) == {"tuple", "bitmask"}
+        assert "speedup_lattice_total" in record
+        cell = record["cells"][0]
+        assert cell["min_support_percent"] == 10.0
+        assert cell["events"] > 0
+
+    def test_run_pass_benchmark_smoke(self):
+        from repro.bench.lattice import run_pass_benchmark
+
+        record = run_pass_benchmark(
+            database="T5.I2.D100K", supports_percent=(10.0,), scale=60
+        )
+        cell = record["cells"][0]
+        assert cell["identical_mfs"]
+        assert cell["kernels"]["bitmask"]["passes"]

@@ -130,3 +130,49 @@ class TestArrayFastPaths:
     def test_count_pairs_ignores_other_items(self):
         counts = count_pairs(small_db(), [1, 4])
         assert counts == {(1, 4): 1}
+
+
+class TestBitmapPrefixCache:
+    def test_warm_start_across_passes(self):
+        counter = get_counter("bitmap")
+        db = small_db()
+        counter.count(db, [(1, 2)])
+        hits_before = counter.prefix_cache_hits
+        # the 2-prefix of pass 3 is exactly the pass-2 candidate
+        counter.count(db, [(1, 2, 3)])
+        assert counter.prefix_cache_hits >= hits_before + 2
+
+    def test_new_database_invalidates_cache(self):
+        counter = get_counter("bitmap")
+        counter.count(small_db(), [(1, 2)])
+        other = TransactionDatabase([[1], [1, 2]], universe=range(1, 6))
+        assert counter.count(other, [(1, 2)])[(1, 2)] == 1
+        assert counter.count(other, [(1,)])[(1,)] == 2
+
+    def test_eviction_accounting_with_tiny_capacity(self):
+        counter = get_counter("bitmap")
+        counter.CACHE_CAPACITY_PER_LEVEL = 1
+        db = small_db()
+        counter.count(db, [(1, 2), (2, 3), (3, 4)])
+        assert counter.prefix_cache_evictions > 0
+        # exactness is unaffected by evictions
+        assert counter.count(db, CANDIDATES) == EXPECTED
+
+    def test_obs_metrics_emitted(self):
+        from repro.obs.instrument import Instrumentation
+
+        counter = get_counter("bitmap")
+        counter.obs = obs = Instrumentation()
+        counter.count(small_db(), [(1, 2), (1, 2, 3)])
+        assert obs.metrics.counter("prefix_cache.misses").value > 0
+        assert obs.metrics.gauge("engine.prefix_cache.size").value > 0
+
+    def test_reset_clears_cache_state(self):
+        counter = get_counter("bitmap")
+        db = small_db()
+        counter.count(db, [(1, 2)])
+        counter.reset()
+        assert counter.prefix_cache_hits == 0
+        assert counter.prefix_cache_misses == 0
+        assert counter._cache is None
+        assert counter.count(db, [(1, 2)])[(1, 2)] == 3

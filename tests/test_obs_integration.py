@@ -117,6 +117,44 @@ class TestTraceMatchesStats:
         assert counters["engine.records_read"] == result.stats.records_read
         assert document["gauges"]["miner.mfs_size"] == len(result.mfs)
 
+    def test_mfcs_cover_query_counters_emitted(self, tmp_path):
+        """The MFCS sub-linearity signal must survive to the metrics doc.
+
+        ``mfcs.cover_node_visits / mfcs.cover_queries`` is the regression
+        guard for the cover-index early exits: a full scan would pay
+        roughly one visit per member item bitmap, so the mean visits per
+        query must stay a small constant.
+        """
+        db = TransactionDatabase(TRANSACTIONS)
+        metrics_path = str(tmp_path / "m.json")
+        obs = capture(metrics_path=metrics_path)
+        # pin the bitmask kernel: only the mask-native cover tracks the
+        # query/visit counters this test guards
+        PincerSearch(adaptive=True, kernel="bitmask").mine(db, 0.25, obs=obs)
+        obs.finish()
+        with open(metrics_path) as handle:
+            document = json.load(handle)
+        counters = document["counters"]
+        assert counters["mfcs.cover_queries"] > 0
+        assert counters["mfcs.cover_node_visits"] > 0
+        mean_visits = (
+            counters["mfcs.cover_node_visits"] / counters["mfcs.cover_queries"]
+        )
+        assert mean_visits <= 24
+
+    def test_prefix_cache_metrics_emitted(self, tmp_path):
+        db = TransactionDatabase(TRANSACTIONS)
+        metrics_path = str(tmp_path / "m.json")
+        obs = capture(metrics_path=metrics_path)
+        PincerSearch(adaptive=True).mine(
+            db, 0.25, counter=get_counter("bitmap"), obs=obs
+        )
+        obs.finish()
+        with open(metrics_path) as handle:
+            document = json.load(handle)
+        assert document["counters"]["prefix_cache.misses"] > 0
+        assert document["gauges"]["engine.prefix_cache.size"] > 0
+
 
 class TestShardedObservability:
     def test_records_read_matches_serial_engine(self, tmp_path):

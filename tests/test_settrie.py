@@ -1,0 +1,86 @@
+"""Unit tests for the guard-masked set-trie (repro.core.settrie)."""
+
+import random
+
+from repro.core.bitset import ItemUniverse
+from repro.core.cover import CoverIndex
+from repro.core.settrie import SetTrie
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = SetTrie()
+        assert len(trie) == 0
+        assert not trie
+        assert not trie.covers((1,))
+
+    def test_add_discard_roundtrip(self):
+        trie = SetTrie()
+        assert trie.add((1, 2))
+        assert not trie.add((1, 2))
+        assert (1, 2) in trie
+        assert trie.covers((1,))
+        assert trie.discard((1, 2))
+        assert not trie.discard((1, 2))
+        assert not trie.covers((1,))
+
+    def test_prefix_members_survive_discard(self):
+        trie = SetTrie([(1, 2), (1, 2, 3)])
+        trie.discard((1, 2, 3))
+        assert sorted(trie.members) == [(1, 2)]
+        assert trie.covers((1, 2))
+        assert not trie.covers((3,))
+
+    def test_covers_strictly(self):
+        trie = SetTrie([(1, 2)])
+        assert trie.covers_strictly((1,))
+        assert not trie.covers_strictly((1, 2))
+        trie.add((1, 2, 3))
+        assert trie.covers_strictly((1, 2))
+
+    def test_empty_probe(self):
+        assert SetTrie([(5,)]).covers(())
+        assert not SetTrie().covers(())
+
+
+class TestGuardMasks:
+    def test_universe_guard_prunes_but_stays_exact(self):
+        universe = ItemUniverse(range(1, 10))
+        trie = SetTrie([(1, 2, 3), (4, 5)], universe=universe)
+        assert trie.covers((2, 3))
+        assert not trie.covers((2, 5))
+        assert sorted(trie.supersets_of((4,))) == [(4, 5)]
+
+    def test_query_counters_move(self):
+        trie = SetTrie([(1, 2, 3)])
+        before = (trie.queries, trie.node_visits)
+        trie.covers((2,))
+        assert trie.queries == before[0] + 1
+        assert trie.node_visits > before[1]
+
+
+class TestDifferentialAgainstCoverIndex:
+    def test_randomized_parity(self):
+        rng = random.Random(5)
+        universe = ItemUniverse(range(1, 20))
+        trie = SetTrie(universe=universe)
+        reference = CoverIndex()
+        pool = [
+            tuple(sorted(rng.sample(range(1, 20), rng.randint(1, 5))))
+            for _ in range(40)
+        ]
+        for _ in range(300):
+            member = rng.choice(pool)
+            if rng.random() < 0.35:
+                assert trie.discard(member) == reference.discard(member)
+            else:
+                assert trie.add(member) == reference.add(member)
+            probe = rng.choice(pool)
+            assert trie.covers(probe) == reference.covers(probe)
+            assert trie.covers_strictly(probe) == (
+                reference.covers_strictly(probe)
+            )
+            assert sorted(trie.supersets_of(probe)) == sorted(
+                reference.supersets_of(probe)
+            )
+        assert sorted(trie.members) == sorted(reference.members)

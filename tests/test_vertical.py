@@ -9,6 +9,7 @@ from repro.db.transaction_db import TransactionDatabase
 from repro.db.vertical import (
     HAVE_NUMPY,
     IntBitmapIndex,
+    LruPrefixCache,
     PackedCounter,
     PrefixIntersector,
     build_index,
@@ -145,6 +146,72 @@ class TestPrefixIntersector:
     def test_empty_candidate_is_top(self):
         cache = PrefixIntersector(self.lookup, lambda a, b: a & b, 0b1111)
         assert cache.intersection(()) == 0b1111
+
+
+class TestLruPrefixCache:
+    def lookup(self, item):
+        return {1: 0b0111, 2: 0b0011, 3: 0b0101, 4: 0b1001}.get(item)
+
+    def make(self, capacity=4096):
+        return LruPrefixCache(
+            self.lookup, lambda a, b: a & b, 0b1111,
+            capacity_per_level=capacity,
+        )
+
+    def test_results_match_direct_intersection(self):
+        cache = self.make()
+        assert cache.intersection((1, 2)) == 0b0011
+        assert cache.intersection((1, 2, 3)) == 0b0001
+        assert cache.intersection((1, 9)) is None
+        assert cache.intersection(()) == 0b1111
+
+    def test_cache_persists_across_batches(self):
+        cache = self.make()
+        cache.intersection((1, 2))
+        hits_before = cache.hits
+        # a later batch reuses the stored (1, 2) prefix: two hits
+        assert cache.intersection((1, 2, 4)) == 0b0001
+        assert cache.hits == hits_before + 2
+        assert cache.misses == 3  # items 1, 2, 4 combined exactly once
+
+    def test_eviction_bounds_each_level(self):
+        cache = self.make(capacity=2)
+        for prefix in ((1, 2), (1, 3), (1, 4)):
+            cache.intersection(prefix)
+        assert cache.evictions == 1
+        # level 1 holds only (1,); level 2 holds the 2 most recent
+        assert cache.size == 3
+        # the evicted (1, 2) is recomputed: misses, not hits
+        misses_before = cache.misses
+        cache.intersection((1, 2))
+        assert cache.misses == misses_before + 1
+
+    def test_lru_order_refreshes_on_hit(self):
+        cache = self.make(capacity=2)
+        cache.intersection((1, 2))
+        cache.intersection((1, 3))
+        cache.intersection((1, 2))  # refresh (1, 2)
+        cache.intersection((1, 4))  # evicts (1, 3), not (1, 2)
+        hits_before = cache.hits
+        cache.intersection((1, 2))
+        assert cache.hits == hits_before + 2
+
+    def test_cached_none_is_not_a_miss_sentinel_conflict(self):
+        cache = self.make()
+        assert cache.intersection((9,)) is None
+        misses_before = cache.misses
+        assert cache.intersection((9,)) is None  # served from cache
+        assert cache.misses == misses_before
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            self.make(capacity=0)
+
+    def test_clear(self):
+        cache = self.make()
+        cache.intersection((1, 2))
+        cache.clear()
+        assert cache.size == 0
 
 
 class TestBuildIndex:
