@@ -34,6 +34,7 @@ from ..db.parallel import ShardedCounter
 from ..db.transaction_db import TransactionDatabase
 from ..db.vertical import HAVE_NUMPY
 from .experiments import DEFAULT_SCALE, ExperimentSpec, build_database
+from .trajectory import record_run
 
 __all__ = [
     "RecordingCounter",
@@ -190,6 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, metavar="PATH",
         help="write the JSON record here (default: stdout only)",
     )
+    parser.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="append this run to the bench trajectory JSONL "
+        "(gate it with python -m repro.bench.regress)",
+    )
     args = parser.parse_args(argv)
     record = run_counting_benchmark(
         database=args.database,
@@ -202,6 +208,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sys.stdout.write("\n")
     if args.out:
         write_counting_benchmark(args.out, record)
+    record_run(record, args.trajectory)
     return 0
 
 

@@ -45,6 +45,7 @@ from ..db.counting import get_counter
 from ..db.transaction_db import TransactionDatabase
 from ..db.vertical import HAVE_NUMPY
 from .experiments import DEFAULT_SCALE, ExperimentSpec, build_database
+from .trajectory import record_run
 
 __all__ = [
     "RecordingKernel",
@@ -403,6 +404,12 @@ def run_lattice_benchmark(
             name: {group: round(value, 6) for group, value in groups.items()}
             for name, groups in totals.items()
         },
+        # seconds-named so the bench trajectory picks the per-kernel
+        # totals up as regression-gated metrics
+        "replay_seconds": {
+            name: round(sum(groups.values()), 6)
+            for name, groups in totals.items()
+        },
     }
     if "tuple" in totals and "bitmask" in totals:
         for group, key in (
@@ -532,6 +539,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--skip-replay", action="store_true",
         help="only run the end-to-end per-pass benchmark",
     )
+    parser.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="append the records to the bench trajectory JSONL "
+        "(gate it with python -m repro.bench.regress)",
+    )
     args = parser.parse_args(argv)
     supports = tuple(args.min_support) if args.min_support else (1.5, 1.0, 0.5)
     if not args.skip_replay:
@@ -545,6 +557,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stdout.write("\n")
         if args.out:
             write_benchmark(args.out, record)
+        record_run(record, args.trajectory)
     if args.pass_out or args.skip_replay:
         pass_record = run_pass_benchmark(
             database=args.database,
@@ -555,6 +568,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stdout.write("\n")
         if args.pass_out:
             write_benchmark(args.pass_out, pass_record)
+        record_run(pass_record, args.trajectory)
     return 0
 
 

@@ -42,6 +42,7 @@ from ..db.counting import get_counter, select_engine
 from ..obs.instrument import capture
 from .engines import record_batches
 from .experiments import DEFAULT_SCALE, ExperimentSpec, build_database
+from .trajectory import record_run
 
 __all__ = [
     "run_overhead_benchmark",
@@ -183,6 +184,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, metavar="PATH",
         help="write the JSON record here (default: stdout only)",
     )
+    parser.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="append this run to the bench trajectory JSONL "
+        "(gate it with python -m repro.bench.regress)",
+    )
     args = parser.parse_args(argv)
     record = run_overhead_benchmark(
         database=args.database,
@@ -194,6 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sys.stdout.write("\n")
     if args.out:
         write_overhead_benchmark(args.out, record)
+    record_run(record, args.trajectory)
     return 0
 
 

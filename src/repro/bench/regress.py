@@ -1,0 +1,233 @@
+"""Benchmark-regression sentinel: gate CI on the bench trajectory.
+
+``python -m repro.bench.regress`` compares, for every benchmark cell in
+the trajectory (see :mod:`repro.bench.trajectory`), the **latest** entry
+against a **baseline window** of the preceding runs of the same cell:
+
+* baseline value = median of the metric over the window (median, not
+  min: a single lucky run must not make every later run look slow);
+* a metric regresses when ``latest / baseline > threshold`` *and* the
+  baseline is above a noise floor (microsecond-scale metrics jitter by
+  integer factors without meaning anything);
+* exit status 1 when anything regressed, 0 otherwise — a cell seen for
+  the first time is a *fresh baseline* and passes by construction.
+
+Cross-host comparisons are refused by default (a laptop's seconds say
+nothing about a CI runner's); ``--allow-cross-host`` overrides when the
+operator knows better.
+
+Typical gate::
+
+    python -m repro.bench.regress --trajectory benchmarks/trajectory.jsonl \\
+        --threshold 1.5 --window 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from statistics import median
+from typing import Any, Dict, List, Optional
+
+from .trajectory import default_trajectory_path, load_trajectory
+
+__all__ = ["RegressionReport", "check_trajectory", "main"]
+
+#: metrics with a baseline below this many seconds are ignored — pure
+#: scheduler noise at that scale
+DEFAULT_NOISE_FLOOR = 0.01
+
+DEFAULT_THRESHOLD = 1.5
+DEFAULT_WINDOW = 5
+
+
+class RegressionReport:
+    """Outcome of one trajectory check: comparisons + regressions."""
+
+    def __init__(self) -> None:
+        self.comparisons: List[Dict[str, Any]] = []
+        self.regressions: List[Dict[str, Any]] = []
+        self.fresh_keys: List[str] = []
+        self.skipped_keys: List[str] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "comparisons": self.comparisons,
+            "regressions": self.regressions,
+            "fresh_keys": self.fresh_keys,
+            "skipped_keys": self.skipped_keys,
+        }
+
+    def summary(self) -> str:
+        lines: List[str] = []
+        for row in self.comparisons:
+            marker = "REGRESSION" if row["regressed"] else "ok"
+            lines.append(
+                "%-10s %-46s %-34s %8.4fs vs %8.4fs (x%.2f, n=%d)"
+                % (
+                    marker, row["key"][:46], row["metric"][:34],
+                    row["latest"], row["baseline"], row["ratio"],
+                    row["baseline_runs"],
+                )
+            )
+        for key in self.fresh_keys:
+            lines.append("fresh      %-46s (no baseline yet; pass)" % key[:46])
+        for key in self.skipped_keys:
+            lines.append("skipped    %-46s (different host)" % key[:46])
+        if not lines:
+            lines.append("trajectory is empty; nothing to compare")
+        lines.append(
+            "regressions: %d of %d comparisons"
+            % (len(self.regressions), len(self.comparisons))
+        )
+        return "\n".join(lines)
+
+
+def _same_host(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    ha, hb = a.get("host", {}), b.get("host", {})
+    return ha.get("platform") == hb.get("platform") and ha.get(
+        "cpu_count"
+    ) == hb.get("cpu_count")
+
+
+def check_trajectory(
+    entries: List[Dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+    benchmark: Optional[str] = None,
+    allow_cross_host: bool = False,
+) -> RegressionReport:
+    """Compare the latest entry of every cell against its baseline window."""
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1.0 (it is a slowdown ratio)")
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    report = RegressionReport()
+    by_key: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in entries:
+        if benchmark is not None and entry.get("benchmark") != benchmark:
+            continue
+        by_key.setdefault(entry["key"], []).append(entry)
+    for key, runs in sorted(by_key.items()):
+        latest = runs[-1]
+        baseline_pool = [
+            run
+            for run in runs[:-1]
+            if allow_cross_host or _same_host(run, latest)
+        ]
+        if not baseline_pool:
+            if len(runs) > 1:
+                report.skipped_keys.append(key)
+            else:
+                report.fresh_keys.append(key)
+            continue
+        baseline_runs = baseline_pool[-window:]
+        for metric, latest_value in sorted(latest.get("metrics", {}).items()):
+            history = [
+                run["metrics"][metric]
+                for run in baseline_runs
+                if metric in run.get("metrics", {})
+            ]
+            if not history:
+                continue
+            baseline_value = median(history)
+            if baseline_value < noise_floor:
+                continue
+            ratio = (
+                latest_value / baseline_value
+                if baseline_value > 0
+                else float("inf")
+            )
+            row = {
+                "key": key,
+                "metric": metric,
+                "latest": latest_value,
+                "baseline": baseline_value,
+                "ratio": round(ratio, 4),
+                "baseline_runs": len(history),
+                "threshold": threshold,
+                "regressed": ratio > threshold,
+                "latest_git_sha": latest.get("git_sha", "unknown"),
+            }
+            report.comparisons.append(row)
+            if row["regressed"]:
+                report.regressions.append(row)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress",
+        description="fail when the latest bench run regressed vs its history",
+    )
+    parser.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="trajectory JSONL (default: REPRO_BENCH_TRAJECTORY or %s)"
+        % default_trajectory_path(),
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="slowdown ratio that fails the check (default %g)"
+        % DEFAULT_THRESHOLD,
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="how many prior runs form the baseline median (default %d)"
+        % DEFAULT_WINDOW,
+    )
+    parser.add_argument(
+        "--noise-floor", type=float, default=DEFAULT_NOISE_FLOOR,
+        metavar="SECONDS",
+        help="ignore metrics whose baseline is below this (default %g)"
+        % DEFAULT_NOISE_FLOOR,
+    )
+    parser.add_argument(
+        "--benchmark", default=None,
+        help="only check entries of this benchmark kind",
+    )
+    parser.add_argument(
+        "--allow-cross-host", action="store_true",
+        help="compare runs recorded on different hosts",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full report as JSON",
+    )
+    args = parser.parse_args(argv)
+    path = args.trajectory if args.trajectory else default_trajectory_path()
+    try:
+        entries = load_trajectory(path)
+    except OSError as exc:
+        sys.stderr.write("cannot read trajectory: %s\n" % exc)
+        return 2
+    except ValueError as exc:
+        sys.stderr.write("malformed trajectory: %s\n" % exc)
+        return 2
+    try:
+        report = check_trajectory(
+            entries,
+            threshold=args.threshold,
+            window=args.window,
+            noise_floor=args.noise_floor,
+            benchmark=args.benchmark,
+            allow_cross_host=args.allow_cross_host,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    sys.stdout.write(report.summary() + "\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

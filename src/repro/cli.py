@@ -1,11 +1,15 @@
 """Command-line interface: ``pincer <subcommand>``.
 
-Four subcommands cover the end-to-end workflow:
+Subcommands cover the end-to-end workflow:
 
 * ``generate`` — synthesise a Quest benchmark database to a file;
 * ``mine``     — discover the maximum frequent set of a database file;
 * ``rules``    — mine and then emit association rules (MFS-first);
-* ``bench``    — run one of the paper's experiments and print its rows.
+* ``bench``    — run one of the paper's experiments and print its rows
+  (``bench regress`` gates the recorded bench trajectory instead);
+* ``obs``      — work with recorded traces: ``obs export`` converts a
+  trace or metrics file for Perfetto/Prometheus, ``obs report`` prints
+  a span-tree profile with wall/CPU/memory columns.
 
 Run ``pincer <subcommand> --help`` for the full flag list.
 """
@@ -59,6 +63,26 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--log-level", default=None,
         choices=("debug", "info", "warning", "error"),
         help="enable stderr logging for the 'repro' logger hierarchy",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="attach per-span CPU seconds and tracemalloc peak-memory "
+        "deltas to the trace (requires --trace)",
+    )
+    group.add_argument(
+        "--profile-stacks", default=None, metavar="PATH",
+        help="also run a sampling profiler and write folded stacks "
+        "(flamegraph.pl input) to PATH",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="print a live per-pass progress/ETA line to stderr (also "
+        "mirrored into the trace when --trace is given)",
+    )
+    group.add_argument(
+        "--trace-max-events", type=int, default=None, metavar="N",
+        help="cap the trace at N events; excess events are dropped and "
+        "a single 'truncated' marker records how many",
     )
 
 
@@ -277,24 +301,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(bench)
     bench.set_defaults(handler=_cmd_bench)
+
+    obs_cmd = commands.add_parser(
+        "obs", help="export or report a recorded trace/metrics file"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="convert a trace to Perfetto JSON or metrics to Prometheus text",
+        add_help=False,
+    )
+    obs_export.add_argument("rest", nargs=argparse.REMAINDER)
+    obs_export.set_defaults(handler=_cmd_obs_export)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="print a span-tree profile of a recorded trace",
+        add_help=False,
+    )
+    obs_report.add_argument("rest", nargs=argparse.REMAINDER)
+    obs_report.set_defaults(handler=_cmd_obs_report)
     return parser
 
 
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from .obs.export import main as export_main
+
+    return export_main(args.rest)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs.report import main as report_main
+
+    return report_main(args.rest)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # delegated subcommands keep their own argparse flag surface; hand
+    # everything past the two-word prefix to the module's main()
+    if argv[:2] == ["bench", "regress"]:
+        from .bench.regress import main as regress_main
+
+        return regress_main(argv[2:])
+    if argv[:2] == ["obs", "export"]:
+        from .obs.export import main as export_main
+
+        return export_main(argv[2:])
+    if argv[:2] == ["obs", "report"]:
+        from .obs.report import main as report_main
+
+        return report_main(argv[2:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.log_level:
         configure_logging(args.log_level)
+    if args.profile and not args.trace:
+        parser.error("--profile requires --trace (profiles land on spans)")
     obs = capture(
         trace_path=args.trace,
         metrics_path=args.metrics_out,
         producer="pincer-cli",
+        profile=args.profile,
+        progress=args.progress,
+        trace_max_events=args.trace_max_events,
     )
     args.obs = obs
+    sampler = None
+    if args.profile_stacks:
+        from .obs.resources import SamplingProfiler
+
+        sampler = SamplingProfiler()
+        sampler.start()
     try:
         with obs.span("command", command=args.command):
             return args.handler(args)
     finally:
         obs.finish()
+        if sampler is not None:
+            sampler.stop()
+            sampler.write(args.profile_stacks)
 
 
 if __name__ == "__main__":

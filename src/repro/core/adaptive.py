@@ -104,6 +104,7 @@ class AdaptivePolicy:
             raise ValueError("pass thresholds must be non-negative / positive")
         self._futile_streak = 0
         self._abandoned = False
+        self.abandon_reason: "str | None" = None
 
     @property
     def abandoned(self) -> bool:
@@ -130,6 +131,7 @@ class AdaptivePolicy:
         """Force permanent abandonment (called on a mid-update cap abort)."""
         logger.info("MFCS-gen update blew past its size/work cap; abandoning")
         self._abandoned = True
+        self.abandon_reason = "mfcs-update-cap"
 
     def keep_after_classification(
         self,
@@ -169,6 +171,7 @@ class AdaptivePolicy:
                 pass_number, mfcs_size, self.mfcs_ratio_cap, candidate_bound,
             )
             self._abandoned = True
+            self.abandon_reason = "candidate-bound-ratio"
             return False
         if pass_number != self.ratio_check_pass:
             return True
@@ -182,6 +185,7 @@ class AdaptivePolicy:
                 self.frequent_ratio_floor,
             )
             self._abandoned = True
+            self.abandon_reason = "frequent-ratio"
             return False
         return True
 
@@ -212,6 +216,7 @@ class AdaptivePolicy:
                 pass_number, mfcs_size, self.mfcs_size_cap,
             )
             self._abandoned = True
+            self.abandon_reason = "size-cap"
             return False
         if mfcs_size > self.mfcs_ratio_cap * max(1, num_candidates):
             logger.info(
@@ -219,6 +224,7 @@ class AdaptivePolicy:
                 pass_number, mfcs_size, self.mfcs_ratio_cap, num_candidates,
             )
             self._abandoned = True
+            self.abandon_reason = "ratio-cap"
             return False
         if self.futile_passes:
             if maximal_found_this_pass:
@@ -231,6 +237,7 @@ class AdaptivePolicy:
                         pass_number, self._futile_streak,
                     )
                     self._abandoned = True
+                    self.abandon_reason = "futility"
                     return False
         return True
 
@@ -283,6 +290,7 @@ class NeverMaintain(AdaptivePolicy):
     def __init__(self) -> None:
         super().__init__()
         self._abandoned = True
+        self.abandon_reason = "never-maintain"
 
     def keep_mfcs(
         self,

@@ -138,6 +138,13 @@ class PincerSearch:
         )
         obs = obs if obs is not None else NOOP
         engine.obs = obs
+        progress = obs.progress
+        if progress.enabled:
+            progress.start_run(
+                algorithm=self.name,
+                num_transactions=len(db),
+                min_support_count=threshold,
+            )
         policy = self._make_policy()
         lattice = make_kernel(self._kernel, db.universe)
         started = time.perf_counter()
@@ -252,6 +259,8 @@ class PincerSearch:
                             mfcs.exclusions - exclusions_before,
                             mfcs.cover_queries - cover_queries_before,
                             mfcs.cover_node_visits - cover_visits_before,
+                            candidate_bound=bound,
+                            mfs_size=len(mfs),
                         )
                         break
 
@@ -331,6 +340,8 @@ class PincerSearch:
                         mfcs.exclusions - exclusions_before,
                         mfcs.cover_queries - cover_queries_before,
                         mfcs.cover_node_visits - cover_visits_before,
+                        candidate_bound=bound,
+                        mfs_size=len(mfs),
                     )
 
             if not maintaining:
@@ -352,6 +363,12 @@ class PincerSearch:
                 logger.info(
                     "MFCS abandoned after pass %d; completing bottom-up", k
                 )
+                if progress.enabled:
+                    progress.on_abandon(
+                        k=k,
+                        reason=getattr(policy, "abandon_reason", None)
+                        or "policy",
+                    )
                 start_level = k if not mfs else None
                 self._complete_bottom_up(
                     db, engine, supports, threshold, mfs_cover, frequents_seen,
@@ -371,6 +388,12 @@ class PincerSearch:
                 )
                 obs.gauge("miner.mfs_size").set(len(final_mfs))
                 obs.counter("miner.runs").inc()
+        if progress.enabled:
+            progress.on_finish(
+                mfs_size=len(final_mfs),
+                passes=stats.num_passes,
+                seconds=stats.seconds,
+            )
         logger.debug("%s", stats.summary())
         return MiningResult(
             mfs=frozenset(final_mfs),
@@ -391,6 +414,8 @@ class PincerSearch:
         exclusions: int,
         cover_queries: int = 0,
         cover_node_visits: int = 0,
+        candidate_bound: int = 0,
+        mfs_size: int = 0,
     ) -> None:
         """Record one finished pass on its span and in the registry."""
         logger.debug(
@@ -400,6 +425,16 @@ class PincerSearch:
             pass_stats.mfcs_candidates, pass_stats.frequent_found,
             pass_stats.maximal_found, pass_stats.mfcs_size_after,
         )
+        progress = obs.progress
+        if progress.enabled:
+            progress.on_pass(
+                k=pass_stats.pass_number,
+                candidates=pass_stats.total_candidates,
+                mfcs_size=pass_stats.mfcs_size_after,
+                candidate_bound=candidate_bound,
+                maximal_found=pass_stats.maximal_found,
+                mfs_size=mfs_size,
+            )
         if not obs.enabled:
             return
         pass_span.set(
@@ -505,6 +540,17 @@ class PincerSearch:
                     if obs.enabled:
                         sweep_span.set(**pass_stats.to_dict())
                 frequent.extend(newly_frequent)
+                progress = obs.progress
+                if progress.enabled:
+                    progress.on_pass(
+                        k=level,
+                        candidates=len(unknown),
+                        mfcs_size=0,
+                        candidate_bound=candidate_upper_bound(
+                            len(frequent), level
+                        ),
+                        phase="sweep",
+                    )
             current = sorted(frequent)
             frequents_seen.update(current)
             if not current:

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .._types import Itemset
 from ..obs.logsetup import get_logger
+from ..obs.resources import rusage_snapshot
 from .base import SupportCounter
 from .vertical import build_index
 
@@ -71,9 +72,10 @@ def _shard_worker(connection, transactions, universe) -> None:
     """Worker loop: build the shard index once, then serve count batches.
 
     Each reply carries the counts **plus the shard's own accounting** —
-    the records the batch read (every shard row, once) and the worker's
-    wall-clock seconds for the batch — so the parent can aggregate exact
-    ``records_read`` totals and per-shard timings without a side channel.
+    the records the batch read (every shard row, once), the worker's
+    wall-clock and CPU seconds for the batch, and the worker process's
+    peak RSS — so the parent can aggregate exact ``records_read`` totals
+    and per-shard resource attribution without a side channel.
     """
     num_rows = len(transactions)
     try:
@@ -92,10 +94,13 @@ def _shard_worker(connection, transactions, universe) -> None:
             break
         try:
             started = time.perf_counter()
+            cpu_started = time.process_time()
             counts = index.counts(message)
             meta = {
                 "records_read": num_rows,
                 "seconds": time.perf_counter() - started,
+                "cpu_seconds": time.process_time() - cpu_started,
+                "maxrss_kb": rusage_snapshot().get("maxrss_kb", 0),
             }
             connection.send(("counts", counts, meta))
         except BaseException as exc:  # pragma: no cover - defensive
@@ -141,6 +146,10 @@ class ShardedCounter(SupportCounter):
         self.shard_rows: List[int] = []
         #: per-shard worker seconds of the most recent pass
         self.last_shard_seconds: List[float] = []
+        #: per-shard worker CPU seconds of the most recent pass
+        self.last_shard_cpu_seconds: List[float] = []
+        #: per-shard worker peak RSS (kB) as of the most recent pass
+        self.last_shard_maxrss_kb: List[int] = []
 
     # ------------------------------------------------------------------
     # worker / shard lifecycle
@@ -237,6 +246,8 @@ class ShardedCounter(SupportCounter):
         self.worker_pids = []
         self.shard_rows = []
         self.last_shard_seconds = []
+        self.last_shard_cpu_seconds = []
+        self.last_shard_maxrss_kb = []
         self._indexes = []
         self._db_ref = None
 
@@ -275,15 +286,22 @@ class ShardedCounter(SupportCounter):
         else:
             totals = [0] * len(candidates)
             self.last_shard_seconds = [0.0] * len(self._indexes)
+            self.last_shard_cpu_seconds = [0.0] * len(self._indexes)
+            rss_kb = rusage_snapshot().get("maxrss_kb", 0)
+            self.last_shard_maxrss_kb = [rss_kb] * len(self._indexes)
             for shard, index in enumerate(self._indexes):
                 self._check_deadline()
                 shard_started = time.perf_counter()
+                shard_cpu_started = time.process_time()
                 for position, count in enumerate(
                     index.counts(candidates, deadline_check=self._check_deadline)
                 ):
                     totals[position] += count
                 self.last_shard_seconds[shard] = (
                     time.perf_counter() - shard_started
+                )
+                self.last_shard_cpu_seconds[shard] = (
+                    time.process_time() - shard_cpu_started
                 )
                 self.records_read += index.num_rows
         self._record_shard_metrics()
@@ -294,6 +312,8 @@ class ShardedCounter(SupportCounter):
             connection.send(candidates)
         totals = [0] * len(candidates)
         self.last_shard_seconds = [0.0] * len(self._connections)
+        self.last_shard_cpu_seconds = [0.0] * len(self._connections)
+        self.last_shard_maxrss_kb = [0] * len(self._connections)
         pending = set(range(len(self._connections)))
         while pending:
             try:
@@ -316,6 +336,10 @@ class ShardedCounter(SupportCounter):
                     totals[position] += count
                 self.records_read += meta["records_read"]
                 self.last_shard_seconds[shard] = meta["seconds"]
+                self.last_shard_cpu_seconds[shard] = meta.get(
+                    "cpu_seconds", 0.0
+                )
+                self.last_shard_maxrss_kb[shard] = meta.get("maxrss_kb", 0)
                 pending.discard(shard)
         return totals
 
@@ -337,3 +361,8 @@ class ShardedCounter(SupportCounter):
             obs.counter("shard.worker_seconds_total_ms").inc(
                 int(sum(self.last_shard_seconds) * 1000)
             )
+        cpu_seconds = obs.histogram("shard.cpu_seconds")
+        for seconds in self.last_shard_cpu_seconds:
+            cpu_seconds.observe(seconds)
+        if self.last_shard_maxrss_kb:
+            obs.gauge("shard.max_rss_kb").set(max(self.last_shard_maxrss_kb))

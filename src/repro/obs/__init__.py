@@ -11,15 +11,26 @@ Zero-dependency observability for the miners and counting engines:
 * :mod:`repro.obs.schema` — the versioned event schema plus validators
   (also a CLI: ``python -m repro.obs.schema run.jsonl``);
 * :mod:`repro.obs.instrument` — the :class:`Instrumentation` bundle and
-  the shared disabled :data:`NOOP` instance.
+  the shared disabled :data:`NOOP` instance;
+* :mod:`repro.obs.resources` — per-span CPU/memory attribution
+  (``--profile``) and the folded-stack sampling profiler;
+* :mod:`repro.obs.progress` — the per-pass heartbeat reporter
+  (``--progress``) with the candidate-upper-bound ETA;
+* :mod:`repro.obs.export` — Chrome/Perfetto trace and Prometheus text
+  exporters (``python -m repro.obs.export``);
+* :mod:`repro.obs.report` — the indented span-tree trace report
+  (``python -m repro.obs.report``).
 
 Everything is off by default and near-zero-cost when disabled; see
 DESIGN.md's "Observability" section for the span hierarchy and the event
 schema, and README.md for a worked ``--trace`` session.
 """
 
+from .export import load_trace_events, metrics_to_prometheus, trace_to_perfetto
 from .instrument import Instrumentation, NOOP, capture
 from .logsetup import ROOT_LOGGER_NAME, configure_logging, get_logger
+from .progress import NOOP_PROGRESS, NoopProgress, ProgressReporter
+from .resources import SamplingProfiler, SpanProfiler, rusage_snapshot
 from .metrics import (
     Counter,
     Gauge,
@@ -30,6 +41,7 @@ from .metrics import (
 )
 from .schema import (
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     SchemaError,
     validate_metrics_document,
     validate_metrics_file,
@@ -47,20 +59,30 @@ __all__ = [
     "Instrumentation",
     "MetricsRegistry",
     "NOOP",
+    "NOOP_PROGRESS",
     "NOOP_SPAN",
     "NOOP_TRACER",
     "NULL_INSTRUMENT",
+    "NoopProgress",
     "NoopSpan",
     "NoopTracer",
     "NullRegistry",
+    "ProgressReporter",
     "ROOT_LOGGER_NAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "SamplingProfiler",
     "SchemaError",
     "Span",
+    "SpanProfiler",
     "Tracer",
     "capture",
     "configure_logging",
     "get_logger",
+    "load_trace_events",
+    "metrics_to_prometheus",
+    "rusage_snapshot",
+    "trace_to_perfetto",
     "validate_metrics_document",
     "validate_metrics_file",
     "validate_stats_document",

@@ -33,13 +33,14 @@ from .metrics import (
     NULL_INSTRUMENT,
     NullRegistry,
 )
+from .progress import NOOP_PROGRESS, NoopProgress, ProgressReporter
 from .tracing import NOOP_SPAN, NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
 
 __all__ = ["Instrumentation", "NOOP", "capture"]
 
 
 class Instrumentation:
-    """Tracer + metrics registry behind one ``obs`` handle."""
+    """Tracer + metrics registry (+ optional progress) behind one handle."""
 
     enabled = True
 
@@ -48,10 +49,12 @@ class Instrumentation:
         tracer: Optional[Union[Tracer, NoopTracer]] = None,
         metrics: Optional[MetricsRegistry] = None,
         metrics_path: Optional[str] = None,
+        progress: Optional[Union[ProgressReporter, NoopProgress]] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.metrics_path = metrics_path
+        self.progress = progress if progress is not None else NOOP_PROGRESS
 
     # ------------------------------------------------------------------
     # delegation shims — the whole instrumented surface in one namespace
@@ -75,7 +78,10 @@ class Instrumentation:
         """Write the metrics document (if a path was given), close the trace."""
         if self.metrics_path is not None:
             self.metrics.write(self.metrics_path)
+        profiler = getattr(self.tracer, "profiler", None)
         self.tracer.close()
+        if profiler is not None:
+            profiler.uninstall()
 
     def __enter__(self) -> "Instrumentation":
         return self
@@ -90,7 +96,9 @@ class _NoopInstrumentation(Instrumentation):
     enabled = False
 
     def __init__(self) -> None:
-        super().__init__(tracer=NOOP_TRACER, metrics=NullRegistry())
+        super().__init__(
+            tracer=NOOP_TRACER, metrics=NullRegistry(), progress=NOOP_PROGRESS
+        )
 
     def span(self, name: str, **attrs: Any) -> NoopSpan:
         return NOOP_SPAN
@@ -115,19 +123,55 @@ def capture(
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
     producer: str = "repro",
+    profile: bool = False,
+    progress: Optional[Union[bool, ProgressReporter, NoopProgress]] = None,
+    trace_max_events: Optional[int] = None,
 ) -> Instrumentation:
     """Build an :class:`Instrumentation` from output paths.
 
-    With neither path given the shared :data:`NOOP` bundle is returned,
-    so callers can wire CLI flags straight through without branching.
+    With nothing requested the shared :data:`NOOP` bundle is returned, so
+    callers can wire CLI flags straight through without branching.
+
+    ``profile=True`` attaches a
+    :class:`~repro.obs.resources.SpanProfiler` to the tracer (requires
+    ``trace_path`` — the attribution lands in span attrs) and starts
+    tracemalloc for the bundle's lifetime; ``trace_max_events`` caps the
+    trace file (a ``truncated`` marker replaces the overflow);
+    ``progress`` threads a heartbeat reporter through to the miners —
+    pass a :class:`~repro.obs.progress.ProgressReporter` or ``True`` for
+    a default stderr reporter.
     """
-    if trace_path is None and metrics_path is None:
+    if progress is True:
+        progress = ProgressReporter()
+    elif progress is False:
+        progress = None
+    if trace_path is None and metrics_path is None and progress is None:
+        if profile:
+            raise ValueError("profile=True requires a trace_path to land in")
         return NOOP
+    if profile and trace_path is None:
+        raise ValueError("profile=True requires a trace_path to land in")
+    profiler = None
+    if profile:
+        from .resources import SpanProfiler
+
+        profiler = SpanProfiler().install()
     tracer = (
-        Tracer.to_path(trace_path, producer=producer)
+        Tracer.to_path(
+            trace_path,
+            producer=producer,
+            max_events=trace_max_events,
+            profiler=profiler,
+        )
         if trace_path is not None
         else NOOP_TRACER
     )
+    if progress is not None and isinstance(progress, ProgressReporter):
+        if progress._tracer is None and tracer is not NOOP_TRACER:
+            progress._tracer = tracer
     return Instrumentation(
-        tracer=tracer, metrics=MetricsRegistry(), metrics_path=metrics_path
+        tracer=tracer,
+        metrics=MetricsRegistry(),
+        metrics_path=metrics_path,
+        progress=progress,
     )

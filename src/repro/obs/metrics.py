@@ -6,11 +6,11 @@ one attribute update per observation:
 
 * :class:`Counter` — monotonically increasing int (``inc``);
 * :class:`Gauge` — last-written value (``set``);
-* :class:`Histogram` — running ``count/total/min/max`` summary
-  (``observe``).  Deliberately no buckets: the consumers here (bench
-  records, the metrics JSON document) want cheap summaries, and keeping
-  the per-observation cost at four scalar updates is what lets engines
-  observe every batch.
+* :class:`Histogram` — running ``count/total/min/max/sumsq`` summary
+  (``observe``; ``sumsq`` powers the exported ``stddev``).  Deliberately
+  no buckets: the consumers here (bench records, the metrics JSON
+  document) want cheap summaries, and keeping the per-observation cost at
+  five scalar updates is what lets engines observe every batch.
 
 Disabled instrumentation uses :data:`NULL_INSTRUMENT` — a single object
 answering ``inc``/``set``/``observe`` with a no-op — handed out by
@@ -25,6 +25,7 @@ cross-process aggregation (the sharded engine's workers) goes through
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, Mapping, Union
 
 from .schema import SCHEMA_VERSION
@@ -66,15 +67,21 @@ class Gauge:
 
 
 class Histogram:
-    """Running summary (count, total, min, max) of observed values."""
+    """Running summary (count, total, min, max, sumsq) of observed values.
 
-    __slots__ = ("count", "total", "min", "max")
+    The sum of squares rides along so :meth:`to_dict` can report the
+    population standard deviation without keeping samples — the summary
+    stays five scalar updates per observation, no buckets.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "sumsq")
 
     def __init__(self) -> None:
         self.count = 0
         self.total: Number = 0
         self.min: Number = 0
         self.max: Number = 0
+        self.sumsq: Number = 0
 
     def observe(self, value: Number) -> None:
         if self.count == 0 or value < self.min:
@@ -83,10 +90,19 @@ class Histogram:
             self.max = value
         self.count += 1
         self.total += value
+        self.sumsq += value * value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the observed values."""
+        if not self.count:
+            return 0.0
+        variance = self.sumsq / self.count - self.mean ** 2
+        return math.sqrt(variance) if variance > 0 else 0.0
 
     def to_dict(self) -> Dict[str, Number]:
         return {
@@ -94,6 +110,8 @@ class Histogram:
             "total": self.total,
             "min": self.min,
             "max": self.max,
+            "sumsq": self.sumsq,
+            "stddev": round(self.stddev, 9),
         }
 
 

@@ -17,7 +17,7 @@ Three document families share the version number :data:`SCHEMA_VERSION`:
     most span logs).  Fields of a ``span`` event:
 
     ============  ======================================================
-    ``v``         schema version (int, == :data:`SCHEMA_VERSION`)
+    ``v``         schema version (int, in :data:`SUPPORTED_VERSIONS`)
     ``type``      ``"span"``
     ``span``      span id, unique within the trace (int, > 0)
     ``parent``    id of the enclosing span, or None for a root span
@@ -28,14 +28,23 @@ Three document families share the version number :data:`SCHEMA_VERSION`:
     ``attrs``     flat mapping of str -> scalar (str/int/float/bool/None)
     ============  ======================================================
 
+    Schema v2 adds two optional event types: ``progress`` (heartbeat
+    lines from :mod:`repro.obs.progress` — ``ts``, a ``phase`` string,
+    and flat scalar fields) and ``truncated`` (the single end-of-trace
+    marker a size-capped tracer emits instead of growing unboundedly;
+    carries the ``dropped`` event count).
+
 ``metrics`` documents (the ``--metrics-out`` file)
     A single JSON object::
 
-        {"v": 1, "type": "metrics",
+        {"v": 2, "type": "metrics",
          "counters":   {name: int},
          "gauges":     {name: number},
          "histograms": {name: {"count": int, "total": number,
-                               "min": number, "max": number}}}
+                               "min": number, "max": number,
+                               "sumsq": number, "stddev": number}}}
+
+    v1 histograms lack ``sumsq``/``stddev``; the validator accepts both.
 
 ``stats`` documents (:meth:`repro.core.stats.MiningStats.to_dict`)
     The per-run accounting the figures are built from, round-trippable
@@ -51,8 +60,16 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional
 
-#: Version stamped into (and required of) every emitted document.
-SCHEMA_VERSION = 1
+#: Version stamped into every emitted document.  v2 added the flight
+#: recorder: ``progress`` and ``truncated`` trace-event types, profiler
+#: span attrs (``cpu_s``/``mem_peak_kb``), and histogram ``sumsq`` /
+#: ``stddev`` fields in metrics documents.
+SCHEMA_VERSION = 2
+
+#: Versions the validators accept: traces recorded by earlier releases
+#: must keep validating (backward compatibility is the point of the
+#: version field).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Span names the instrumented miners emit; traces may add new names
 #: freely (the validator only checks the *shape*), this list is the
@@ -86,8 +103,9 @@ def _require_version(document: Dict[str, Any], what: str) -> None:
     _require(isinstance(document, dict), "%s must be a JSON object" % what)
     version = document.get("v")
     _require(
-        version == SCHEMA_VERSION,
-        "%s has schema version %r, expected %d" % (what, version, SCHEMA_VERSION),
+        version in SUPPORTED_VERSIONS,
+        "%s has schema version %r, expected one of %s"
+        % (what, version, list(SUPPORTED_VERSIONS)),
     )
 
 
@@ -110,7 +128,35 @@ def validate_trace_event(event: Dict[str, Any]) -> None:
         _require(isinstance(event.get("pid"), int), "meta pid must be an int")
         _require(isinstance(event.get("producer"), str), "meta producer must be str")
         return
-    _require(kind == "span", "trace event type must be 'span' or 'meta', got %r" % kind)
+    if kind == "progress":
+        _require(
+            isinstance(event.get("ts"), (int, float)),
+            "progress ts must be a number",
+        )
+        _require(
+            isinstance(event.get("phase"), str) and bool(event["phase"]),
+            "progress phase must be a non-empty str",
+        )
+        _require_scalar_attrs(
+            {k: v for k, v in event.items() if k not in ("v", "type")},
+            "progress",
+        )
+        return
+    if kind == "truncated":
+        _require(
+            isinstance(event.get("ts"), (int, float)),
+            "truncated ts must be a number",
+        )
+        _require(
+            isinstance(event.get("dropped"), int) and event["dropped"] > 0,
+            "truncated dropped must be a positive int",
+        )
+        return
+    _require(
+        kind == "span",
+        "trace event type must be 'span', 'meta', 'progress' or "
+        "'truncated', got %r" % kind,
+    )
     _require(
         isinstance(event.get("span"), int) and event["span"] > 0,
         "span id must be a positive int",
@@ -151,13 +197,15 @@ def validate_metrics_document(document: Dict[str, Any]) -> None:
         )
     histograms = document.get("histograms", {})
     _require(isinstance(histograms, dict), "histograms must be an object")
+    # v1 histograms predate the sum-of-squares summary; v2 must carry it
+    spread_keys = ("sumsq", "stddev") if document["v"] >= 2 else ()
     for name, cells in histograms.items():
         _require(isinstance(cells, dict), "histogram %r must be an object" % name)
         _require(
             isinstance(cells.get("count"), int) and cells["count"] >= 0,
             "histogram %r count must be an int >= 0" % name,
         )
-        for key in ("total", "min", "max"):
+        for key in ("total", "min", "max") + spread_keys:
             _require(
                 isinstance(cells.get(key), (int, float)),
                 "histogram %r %s must be a number" % (name, key),

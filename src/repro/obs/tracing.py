@@ -51,7 +51,10 @@ def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
 class Span:
     """One open span; a context manager that emits itself on exit."""
 
-    __slots__ = ("_tracer", "name", "span_id", "parent_id", "ts", "_started", "attrs")
+    __slots__ = (
+        "_tracer", "name", "span_id", "parent_id", "ts", "_started",
+        "attrs", "_profile",
+    )
 
     def __init__(
         self,
@@ -66,6 +69,8 @@ class Span:
         self.span_id = span_id
         self.parent_id = parent_id
         self.attrs = attrs
+        profiler = tracer.profiler
+        self._profile = profiler.begin() if profiler is not None else None
         self.ts = time.time()
         self._started = time.perf_counter()
 
@@ -93,16 +98,37 @@ class Tracer:
         via :meth:`to_path` (then :meth:`close` closes it).
     producer:
         Free-text origin label stamped into the ``meta`` header.
+    max_events:
+        Size cap / rotation guard: after this many events have been
+        written, further events are *counted but dropped*, and
+        :meth:`close` appends a single ``truncated`` marker event naming
+        the drop count — a huge run cannot grow a trace without bound.
+        None (default) disables the cap.
+    profiler:
+        Optional :class:`~repro.obs.resources.SpanProfiler`; when set,
+        every span is stamped with ``cpu_s`` (and ``mem_peak_kb`` when
+        tracemalloc is tracing) as it closes.
     """
 
     enabled = True
 
-    def __init__(self, sink: IO[str], producer: str = "repro") -> None:
+    def __init__(
+        self,
+        sink: IO[str],
+        producer: str = "repro",
+        max_events: Optional[int] = None,
+        profiler: Optional[Any] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be positive")
         self._sink = sink
         self._owns_sink = False
         self._stack: List[Span] = []
         self._next_id = 1
         self.events_emitted = 0
+        self.events_dropped = 0
+        self.max_events = max_events
+        self.profiler = profiler
         self._emit(
             {
                 "v": SCHEMA_VERSION,
@@ -114,10 +140,18 @@ class Tracer:
         )
 
     @classmethod
-    def to_path(cls, path: str, producer: str = "repro") -> "Tracer":
+    def to_path(
+        cls,
+        path: str,
+        producer: str = "repro",
+        max_events: Optional[int] = None,
+        profiler: Optional[Any] = None,
+    ) -> "Tracer":
         """Open ``path`` for writing and trace into it."""
         sink = open(path, "w", encoding="utf-8")
-        tracer = cls(sink, producer=producer)
+        tracer = cls(
+            sink, producer=producer, max_events=max_events, profiler=profiler
+        )
         tracer._owns_sink = True
         return tracer
 
@@ -131,7 +165,19 @@ class Tracer:
         self._stack.append(span)
         return span
 
+    def emit_event(self, event_type: str, **fields: Any) -> None:
+        """Emit a non-span event line (``progress`` reporters use this)."""
+        payload: Dict[str, Any] = {
+            "v": SCHEMA_VERSION,
+            "type": event_type,
+            "ts": time.time(),
+        }
+        payload.update(_clean_attrs(fields))
+        self._emit(payload)
+
     def _close_span(self, span: Span, duration: float) -> None:
+        if span._profile is not None and self.profiler is not None:
+            span.attrs.update(self.profiler.end(span._profile))
         # exception unwinding may close an outer span while inner noop /
         # already-closed ids linger; pop everything above it
         while self._stack and self._stack[-1] is not span:
@@ -152,11 +198,30 @@ class Tracer:
         )
 
     def _emit(self, event: Dict[str, Any]) -> None:
+        if self.max_events is not None and self.events_emitted >= self.max_events:
+            self.events_dropped += 1
+            return
         self._sink.write(json.dumps(event, separators=(",", ":")) + "\n")
         self.events_emitted += 1
 
     def close(self) -> None:
         """Flush and (when owning the sink) close the output file."""
+        if self.events_dropped:
+            # bypass _emit: the marker must land even though the cap is hit
+            self._sink.write(
+                json.dumps(
+                    {
+                        "v": SCHEMA_VERSION,
+                        "type": "truncated",
+                        "ts": time.time(),
+                        "dropped": self.events_dropped,
+                        "max_events": self.max_events,
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            self.events_dropped = 0
         try:
             self._sink.flush()
         except (OSError, ValueError):  # pragma: no cover - closed sink
@@ -188,11 +253,17 @@ class NoopTracer:
 
     enabled = False
     events_emitted = 0
+    events_dropped = 0
+    max_events = None
+    profiler = None
 
     __slots__ = ()
 
     def span(self, name: str, **attrs: Any) -> NoopSpan:
         return NOOP_SPAN
+
+    def emit_event(self, event_type: str, **fields: Any) -> None:
+        return None
 
     def close(self) -> None:
         return None

@@ -398,3 +398,167 @@ class TestLogging:
             assert "repro.tests.obs: pass 3 complete" in stream.getvalue()
         finally:
             configure_logging(logging.WARNING, stream=io.StringIO())
+
+
+class TestHistogramSpread:
+    def test_stddev_matches_population_formula(self):
+        histogram = Histogram()
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        assert histogram.sumsq == pytest.approx(56.0)
+        # population stddev of {2,4,6} is sqrt(8/3)
+        assert histogram.stddev == pytest.approx((8.0 / 3) ** 0.5)
+
+    def test_empty_and_single_observation_stddev_is_zero(self):
+        histogram = Histogram()
+        assert histogram.stddev == 0.0
+        histogram.observe(5.0)
+        assert histogram.stddev == 0.0
+
+    def test_to_dict_carries_sumsq_and_stddev(self):
+        histogram = Histogram()
+        histogram.observe(3.0)
+        cells = histogram.to_dict()
+        assert cells["sumsq"] == 9.0
+        assert cells["stddev"] == 0.0
+        assert set(cells) == {"count", "total", "min", "max", "sumsq", "stddev"}
+
+
+class TestSchemaV2Compat:
+    def test_v1_metrics_histogram_without_spread_accepted(self):
+        document = {
+            "v": 1,
+            "type": "metrics",
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "engine.batch": {"count": 1, "total": 2.0, "min": 2.0, "max": 2.0}
+            },
+        }
+        validate_metrics_document(document)
+
+    def test_v2_metrics_histogram_requires_spread(self):
+        document = {
+            "v": SCHEMA_VERSION,
+            "type": "metrics",
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "engine.batch": {"count": 1, "total": 2.0, "min": 2.0, "max": 2.0}
+            },
+        }
+        with pytest.raises(SchemaError):
+            validate_metrics_document(document)
+        document["histograms"]["engine.batch"].update(sumsq=4.0, stddev=0.0)
+        validate_metrics_document(document)
+
+    def test_v1_trace_events_still_accepted(self):
+        validate_trace_event(
+            {"v": 1, "type": "span", "name": "pass", "span": 1,
+             "ts": 1.0, "dur": 0.5}
+        )
+
+    def test_progress_event_requires_phase_and_scalars(self):
+        validate_trace_event(
+            {"v": SCHEMA_VERSION, "type": "progress", "ts": 1.0,
+             "phase": "pass", "k": 1, "candidates": 5}
+        )
+        with pytest.raises(SchemaError):
+            validate_trace_event(
+                {"v": SCHEMA_VERSION, "type": "progress", "ts": 1.0,
+                 "phase": ""}
+            )
+        with pytest.raises(SchemaError):
+            validate_trace_event(
+                {"v": SCHEMA_VERSION, "type": "progress", "ts": 1.0,
+                 "phase": "pass", "bad": [1, 2]}
+            )
+
+    def test_truncated_event_requires_positive_dropped(self):
+        validate_trace_event(
+            {"v": SCHEMA_VERSION, "type": "truncated", "ts": 1.0,
+             "dropped": 3, "max_events": 10}
+        )
+        with pytest.raises(SchemaError):
+            validate_trace_event(
+                {"v": SCHEMA_VERSION, "type": "truncated", "ts": 1.0,
+                 "dropped": 0}
+            )
+
+
+class TestTraceCap:
+    def test_cap_drops_and_marks_truncation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer.to_path(str(path), max_events=3)
+        for k in range(6):
+            with tracer.span("pass", k=k):
+                pass
+        tracer.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events[-1]["type"] == "truncated"
+        assert events[-1]["dropped"] == 4  # 1 meta + 6 spans - 3 kept
+        assert events[-1]["max_events"] == 3
+        emitted = [e for e in events if e["type"] != "truncated"]
+        assert len(emitted) == 3
+        validate_trace_lines(path.read_text().splitlines())
+
+    def test_no_marker_when_under_cap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer.to_path(str(path), max_events=100)
+        with tracer.span("run"):
+            pass
+        tracer.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(e["type"] != "truncated" for e in events)
+
+    def test_cap_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            Tracer.to_path(str(tmp_path / "t.jsonl"), max_events=0)
+
+
+class TestCaptureProfileAndProgress:
+    def test_profile_requires_trace_path(self, tmp_path):
+        with pytest.raises(ValueError):
+            capture(profile=True)
+        with pytest.raises(ValueError):
+            capture(metrics_path=str(tmp_path / "m.json"), profile=True)
+
+    def test_profile_attaches_cpu_and_memory_attrs(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs = capture(trace_path=str(path), profile=True)
+        with obs.span("run"):
+            with obs.span("pass", k=1):
+                blob = bytearray(64 * 1024)
+                del blob
+        obs.finish()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = [e for e in events if e["type"] == "span"]
+        assert spans
+        for event in spans:
+            assert "cpu_s" in event["attrs"]
+            assert "mem_peak_kb" in event["attrs"]
+        validate_trace_lines(path.read_text().splitlines())
+
+    def test_progress_true_builds_reporter_and_enables_capture(self):
+        import repro.obs.progress as progress_module
+
+        obs = capture(progress=True)
+        try:
+            assert obs.enabled
+            assert isinstance(obs.progress, progress_module.ProgressReporter)
+        finally:
+            obs.finish()
+
+    def test_progress_reporter_mirrors_into_trace(self, tmp_path):
+        from repro.obs.progress import ProgressReporter
+
+        path = tmp_path / "trace.jsonl"
+        reporter = ProgressReporter(stream=None)
+        obs = capture(trace_path=str(path), progress=reporter)
+        with obs.span("run"):
+            obs.progress.on_pass(
+                k=1, candidates=3, mfcs_size=1, candidate_bound=2
+            )
+        obs.finish()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(e["type"] == "progress" for e in events)

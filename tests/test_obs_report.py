@@ -1,0 +1,119 @@
+"""Tests for the span-tree trace report (``repro.obs.report``)."""
+
+import json
+
+from repro.obs.report import build_span_tree, main as report_main, render_report
+from repro.obs.tracing import Tracer
+
+
+def _span(name, span_id, parent=None, ts=0.0, dur=1.0, **attrs):
+    event = {
+        "v": 2,
+        "type": "span",
+        "name": name,
+        "span": span_id,
+        "ts": ts,
+        "dur": dur,
+    }
+    if parent is not None:
+        event["parent"] = parent
+    if attrs:
+        event["attrs"] = attrs
+    return event
+
+
+class TestBuildSpanTree:
+    def test_parent_links_resolve(self):
+        events = [
+            _span("run", 1, ts=0.0, dur=3.0),
+            _span("pass", 2, parent=1, ts=0.1, dur=1.0),
+            _span("pass", 3, parent=1, ts=1.2, dur=1.5),
+        ]
+        roots, nodes = build_span_tree(events)
+        assert len(roots) == 1 and len(nodes) == 3
+        assert [child.name for child in roots[0].children] == ["pass", "pass"]
+
+    def test_self_time_subtracts_direct_children(self):
+        events = [
+            _span("run", 1, ts=0.0, dur=3.0),
+            _span("pass", 2, parent=1, ts=0.1, dur=1.0),
+            _span("pass", 3, parent=1, ts=1.2, dur=1.5),
+        ]
+        roots, _ = build_span_tree(events)
+        assert abs(roots[0].self_time - 0.5) < 1e-9
+
+    def test_orphan_parent_becomes_root(self):
+        events = [_span("stray", 7, parent=99)]
+        roots, nodes = build_span_tree(events)
+        assert len(roots) == 1 and roots[0].name == "stray"
+
+    def test_label_includes_known_attrs(self):
+        events = [_span("pass", 1, k=2, engine="packed", irrelevant="x")]
+        roots, _ = build_span_tree(events)
+        label = roots[0].label()
+        assert "k=2" in label and "engine=packed" in label
+        assert "irrelevant" not in label
+
+
+class TestRenderReport:
+    def test_tree_indentation_and_columns(self):
+        events = [
+            _span("run", 1, ts=0.0, dur=2.0, cpu_s=1.9, mem_peak_kb=100.0),
+            _span("pass", 2, parent=1, ts=0.1, dur=1.0),
+        ]
+        text = render_report(events)
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert "wall(s)" in lines[0] and "cpu(s)" in lines[0]
+        run_row = [l for l in lines if l.startswith("run")][0]
+        assert "1.9000" in run_row and "100.0" in run_row
+        pass_row = [l for l in lines if l.lstrip().startswith("pass")][0]
+        assert pass_row.startswith("  pass")  # indented under run
+        assert "-" in pass_row  # unprofiled columns show a dash
+
+    def test_top_n_ranked_by_self_time(self):
+        events = [
+            _span("run", 1, ts=0.0, dur=3.0),
+            _span("hot", 2, parent=1, ts=0.1, dur=2.5),
+        ]
+        text = render_report(events, top=2)
+        top_section = text.split("top 2 spans by self time:")[1]
+        first = top_section.strip().splitlines()[0]
+        assert first.strip().startswith("hot")
+
+    def test_max_rows_truncates_tree(self):
+        events = [_span("run", 1, ts=0.0, dur=5.0)] + [
+            _span("pass", i, parent=1, ts=float(i), dur=0.1)
+            for i in range(2, 12)
+        ]
+        text = render_report(events, max_rows=3, top=0)
+        assert "8 more spans" in text
+
+    def test_truncated_marker_warns(self):
+        events = [
+            _span("run", 1),
+            {"v": 2, "type": "truncated", "ts": 1.0, "dropped": 4},
+        ]
+        text = render_report(events)
+        assert "trace truncated, 4 events dropped" in text
+
+
+class TestReportCli:
+    def test_cli_renders_recorded_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer.to_path(str(path))
+        with tracer.span("run", algorithm="pincer"):
+            with tracer.span("pass", k=1):
+                pass
+        tracer.close()
+        rc = report_main([str(path), "--top", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "run algorithm=pincer" in captured.out
+        assert "top 2 spans by self time" in captured.out
+
+    def test_cli_missing_file(self, tmp_path, capsys):
+        rc = report_main([str(tmp_path / "nope.jsonl")])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "cannot read trace" in captured.err

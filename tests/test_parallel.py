@@ -135,3 +135,61 @@ class TestDeadline:
             }
         finally:
             counter.close()
+
+
+class TestShardResourceAttribution:
+    def test_worker_replies_carry_cpu_and_rss(self):
+        with ShardedCounter(num_shards=2, use_processes=True) as sharded:
+            sharded.count(GROUND_TRUTH_DB, CANDIDATES)
+            if not sharded.worker_pids:
+                pytest.skip("worker processes unavailable on this platform")
+            assert len(sharded.last_shard_cpu_seconds) == 2
+            assert len(sharded.last_shard_maxrss_kb) == 2
+            assert all(s >= 0.0 for s in sharded.last_shard_cpu_seconds)
+            # every worker is a live Python process: its high-water RSS
+            # cannot be zero on any platform with a resource module
+            assert all(kb > 0 for kb in sharded.last_shard_maxrss_kb)
+
+    def test_serial_mode_attributes_cpu_per_shard(self):
+        with ShardedCounter(num_shards=2, use_processes=False) as sharded:
+            sharded.count(GROUND_TRUTH_DB, CANDIDATES)
+            assert len(sharded.last_shard_cpu_seconds) == 2
+            assert all(s >= 0.0 for s in sharded.last_shard_cpu_seconds)
+            assert len(sharded.last_shard_maxrss_kb) == 2
+
+    def test_rusage_parity_serial_vs_workers(self):
+        # both modes expose the same attribution surface with one entry
+        # per shard, so downstream metrics code never branches on mode
+        with ShardedCounter(num_shards=2, use_processes=False) as serial:
+            serial.count(GROUND_TRUTH_DB, CANDIDATES)
+            serial_shape = (
+                len(serial.last_shard_seconds),
+                len(serial.last_shard_cpu_seconds),
+                len(serial.last_shard_maxrss_kb),
+            )
+        with ShardedCounter(num_shards=2, use_processes=True) as workers:
+            workers.count(GROUND_TRUTH_DB, CANDIDATES)
+            worker_shape = (
+                len(workers.last_shard_seconds),
+                len(workers.last_shard_cpu_seconds),
+                len(workers.last_shard_maxrss_kb),
+            )
+        assert serial_shape == worker_shape == (2, 2, 2)
+
+    def test_shard_metrics_include_cpu_and_rss(self):
+        from repro.obs.instrument import Instrumentation
+
+        obs = Instrumentation()
+        with ShardedCounter(num_shards=2, use_processes=False) as sharded:
+            sharded.obs = obs
+            sharded.count(GROUND_TRUTH_DB, CANDIDATES)
+        document = obs.metrics.to_dict()
+        assert document["histograms"]["shard.cpu_seconds"]["count"] == 2
+        assert "shard.max_rss_kb" in document["gauges"]
+
+    def test_close_clears_attribution(self):
+        sharded = ShardedCounter(num_shards=2, use_processes=False)
+        sharded.count(GROUND_TRUTH_DB, CANDIDATES)
+        sharded.close()
+        assert sharded.last_shard_cpu_seconds == []
+        assert sharded.last_shard_maxrss_kb == []
