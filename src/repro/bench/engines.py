@@ -31,6 +31,7 @@ from ..core.pincer import PincerSearch
 from ..db.base import SupportCounter
 from ..db.counting import available_engines, get_counter
 from ..db.parallel import ShardedCounter
+from ..db.shm import ShmShardedCounter
 from ..db.transaction_db import TransactionDatabase
 from ..db.vertical import HAVE_NUMPY
 from .experiments import DEFAULT_SCALE, ExperimentSpec, build_database
@@ -38,6 +39,7 @@ from .trajectory import record_run
 
 __all__ = [
     "RecordingCounter",
+    "measure_worker_startup",
     "record_batches",
     "run_counting_benchmark",
     "time_engine",
@@ -138,6 +140,21 @@ def run_counting_benchmark(
                     round(shard_seconds, 6)
                     for shard_seconds in counter.last_shard_seconds
                 ]
+                measured[name]["worker_startup_seconds"] = [
+                    round(startup, 6)
+                    for startup in counter.worker_startup_seconds
+                ]
+            if isinstance(counter, ShmShardedCounter):
+                measured[name]["plane"] = counter.plane
+                measured[name]["attach_seconds"] = round(
+                    counter.last_attach_seconds, 6
+                )
+                measured[name]["steals"] = counter.steals
+                measured[name]["chunks_dispatched"] = counter.chunks_dispatched
+                if counter._scheduler is not None:
+                    measured[name]["scheduler_decisions"] = dict(
+                        counter._scheduler.decisions
+                    )
         finally:
             close = getattr(counter, "close", None)
             if close is not None:
@@ -158,11 +175,53 @@ def run_counting_benchmark(
     bitmap = measured.get("bitmap", {}).get("seconds")
     packed = measured.get("packed", {}).get("seconds")
     sharded = measured.get("sharded", {}).get("seconds")
+    shm = measured.get("shm", {}).get("seconds")
     if bitmap and packed:
         record["speedup_packed_vs_bitmap"] = round(bitmap / packed, 3)
     if packed and sharded:
         record["speedup_sharded_vs_packed"] = round(packed / sharded, 3)
+    if sharded and shm:
+        record["speedup_shm_vs_sharded"] = round(sharded / shm, 3)
+    if "sharded" in measured and "shm" in measured:
+        record["worker_startup"] = measure_worker_startup(db)
     return record
+
+
+def measure_worker_startup(db: TransactionDatabase, workers: int = 2) -> Dict:
+    """Per-worker startup cost: pipe-plane index build vs shm attach.
+
+    The default heuristics refuse to shard on single-core hosts, so this
+    pins ``workers`` explicitly — the point is the *per-worker* attach
+    asymmetry (the pipe plane rebuilds a shard index from pickled
+    transactions; the shm plane attaches views over existing pages),
+    which is what dominates cold-start on wide machines.
+    """
+    comparison: Dict = {"workers": workers}
+    for name, engine in (
+        ("sharded", ShardedCounter(num_shards=workers)),
+        ("shm", ShmShardedCounter(num_shards=workers)),
+    ):
+        try:
+            engine.count(db, [(1,)])
+            startups = engine.worker_startup_seconds or [0.0]
+            comparison[name] = {
+                "mean_worker_startup_seconds": round(
+                    sum(startups) / len(startups), 6
+                ),
+                "max_worker_startup_seconds": round(max(startups), 6),
+            }
+            if isinstance(engine, ShmShardedCounter):
+                comparison[name]["plane"] = engine.plane
+                comparison[name]["attach_seconds"] = round(
+                    engine.last_attach_seconds, 6
+                )
+        finally:
+            engine.close()
+    pipe = comparison.get("sharded", {}).get("mean_worker_startup_seconds")
+    attach = comparison.get("shm", {}).get("mean_worker_startup_seconds")
+    if pipe and attach:
+        comparison["startup_speedup_shm_vs_sharded"] = round(pipe / attach, 2)
+    return comparison
 
 
 def write_counting_benchmark(path: str, record: Dict) -> None:

@@ -34,6 +34,38 @@ from ..obs.logsetup import get_logger
 logger = get_logger("core.adaptive")
 
 
+class PassRateEstimator:
+    """EWMA of the observed counting throughput (candidates/second).
+
+    The miner times each pass's ``engine.count`` call and feeds the
+    smoothed rate back to the engine via
+    :meth:`repro.db.base.SupportCounter.note_pass_rate`.  Engines with an
+    internal mode choice — the shared-memory plane's row/candidate
+    scheduler (:class:`repro.db.parallel.AdaptiveShardScheduler`) — use
+    it to predict whether the next pass is long enough to be worth
+    work-stealing coordination.  The EWMA keeps one noisy pass (a cold
+    cache, a page-in burst) from whipsawing that prediction.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        #: smoothed candidates/second; None until the first observation
+        self.rate: "float | None" = None
+
+    def observe(self, num_candidates: int, seconds: float) -> "float | None":
+        """Record one pass; returns the updated smoothed rate."""
+        if num_candidates > 0 and seconds > 0.0:
+            rate = num_candidates / seconds
+            self.rate = (
+                rate
+                if self.rate is None
+                else (1.0 - self._alpha) * self.rate + self._alpha * rate
+            )
+        return self.rate
+
+
 @dataclass
 class AdaptivePolicy:
     """Decides each pass whether to keep maintaining the MFCS.

@@ -37,13 +37,14 @@ the Apriori join as known-frequent itemsets and are never re-counted.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..db.counting import SupportCounter, get_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
 from ..obs.logsetup import get_logger
-from .adaptive import AdaptivePolicy, AlwaysMaintain
+from .adaptive import AdaptivePolicy, AlwaysMaintain, PassRateEstimator
 from .bitset import candidate_upper_bound
 from .candidates import first_level_candidates
 from .itemset import Itemset
@@ -53,6 +54,21 @@ from .result import MiningResult
 from .stats import MiningStats, PassStats
 
 logger = get_logger("core.pincer")
+
+
+@contextmanager
+def _engine_scope(engine: SupportCounter, owned: bool):
+    """Close ``engine`` on exit when the miner created it itself.
+
+    Caller-supplied counters are the caller's to manage (the bench
+    harness reuses one across runs); miner-created ones would otherwise
+    leak worker pools and shared-memory segments until GC.
+    """
+    try:
+        yield engine
+    finally:
+        if owned:
+            engine.close()
 
 
 class PincerSearch:
@@ -147,6 +163,7 @@ class PincerSearch:
             )
         policy = self._make_policy()
         lattice = make_kernel(self._kernel, db.universe)
+        rate_estimator = PassRateEstimator()
         started = time.perf_counter()
 
         stats = MiningStats(algorithm=self.name)
@@ -169,7 +186,7 @@ class PincerSearch:
             num_transactions=len(db),
             min_support_count=threshold,
         )
-        with run_span:
+        with _engine_scope(engine, counter is None), run_span:
             while maintaining and (candidates or len(mfcs) > 0):
                 k += 1
                 if k > 2 * db.num_items + 4:
@@ -193,7 +210,13 @@ class PincerSearch:
                     for element in mfcs_elements:
                         if element not in supports:
                             batch[element] = None
+                    count_started = time.perf_counter()
                     supports.update(engine.count(db, batch))
+                    engine.note_pass_rate(
+                        rate_estimator.observe(
+                            len(batch), time.perf_counter() - count_started
+                        )
+                    )
                     pass_stats.bottom_up_candidates = len(uncounted_candidates)
                     # MFCS elements counted this pass (an element that
                     # doubles as a bottom-up candidate is billed once, as
@@ -373,6 +396,7 @@ class PincerSearch:
                 self._complete_bottom_up(
                     db, engine, supports, threshold, mfs_cover, frequents_seen,
                     stats, k, start_level, obs=obs, lattice=lattice,
+                    rate_estimator=rate_estimator,
                 )
 
             final_mfs = maximal_elements(mfs | frequents_seen)
@@ -475,6 +499,7 @@ class PincerSearch:
         start_level: Optional[int] = None,
         obs: Instrumentation = NOOP,
         lattice: Optional[LatticeKernel] = None,
+        rate_estimator: Optional[PassRateEstimator] = None,
     ) -> None:
         """Apriori with a frequency oracle — the post-abandonment sweep.
 
@@ -527,7 +552,15 @@ class PincerSearch:
                 pass_stats = stats.new_pass(pass_number)
                 pass_started = time.perf_counter()
                 with obs.span("sweep", k=level) as sweep_span:
+                    count_started = time.perf_counter()
                     supports.update(engine.count(db, unknown))
+                    if rate_estimator is not None:
+                        engine.note_pass_rate(
+                            rate_estimator.observe(
+                                len(unknown),
+                                time.perf_counter() - count_started,
+                            )
+                        )
                     pass_stats.bottom_up_candidates = len(unknown)
                     newly_frequent = [
                         c for c in unknown if supports[c] >= threshold

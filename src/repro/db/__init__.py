@@ -6,6 +6,7 @@ from .counting import (
     NaiveCounter,
     PackedCounter,
     ShardedCounter,
+    ShmShardedCounter,
     SupportCounter,
     TrieCounter,
     available_engines,
@@ -15,6 +16,14 @@ from .counting import (
     select_engine,
 )
 from .disk import DiskTransactionDatabase
+from .snapshot import (
+    Snapshot,
+    SnapshotFormatError,
+    default_snapshot_path,
+    load_snapshot,
+    snapshot_database,
+    write_snapshot,
+)
 from .hash_tree import HashTree
 from .io import load, load_basket, load_csv, load_json, save, save_basket, save_csv, save_json
 from .transaction_db import TransactionDatabase
@@ -39,10 +48,17 @@ __all__ = [
     "PackedCounter",
     "PrefixIntersector",
     "ShardedCounter",
+    "ShmShardedCounter",
+    "Snapshot",
+    "SnapshotFormatError",
     "SupportCounter",
     "TransactionDatabase",
     "TrieCounter",
     "available_engines",
+    "default_snapshot_path",
+    "load_snapshot",
+    "snapshot_database",
+    "write_snapshot",
     "count_pairs",
     "count_singletons",
     "get_counter",

@@ -96,6 +96,22 @@ class SupportCounter:
     ) -> Dict[Itemset, int]:
         raise NotImplementedError
 
+    def note_pass_rate(self, rate: Optional[float]) -> None:
+        """Observed per-candidate counting rate (candidates/second).
+
+        Miners feed the flight-recorder rate of the pass they just
+        finished; engines with an internal scheduler (the shared-memory
+        plane's row/candidate chooser) use it to predict whether the next
+        pass is worth parallel coordination.  Default: ignored.
+        """
+
+    def close(self) -> None:
+        """Release engine-held resources (worker pools, shared segments).
+
+        No-op for in-process engines; miners call it on engines they
+        created themselves once the run ends.  Must be idempotent.
+        """
+
     def reset(self) -> None:
         """Zero the pass/IO accounting."""
         self.passes = 0

@@ -36,6 +36,13 @@ Engines provided:
     Row shards counted in parallel worker processes and summed
     (:mod:`repro.db.parallel`); each worker holds a persistent
     shard-local packed index.
+``shm``
+    The zero-copy shared-memory plane (:mod:`repro.db.shm`): one packed
+    index published once via ``multiprocessing.shared_memory`` (or a
+    memory-mapped snapshot file), attached — not copied — by every
+    worker, with a per-pass adaptive choice between row-sharding and
+    candidate work-stealing.  Falls back to ``sharded`` machinery, then
+    serial, when shared memory is unavailable.
 
 The 1-D / 2-D array fast paths for passes 1 and 2 (Özden et al., adopted by
 the paper in Section 4.1.1) are :func:`count_singletons` and
@@ -54,6 +61,7 @@ from .._types import CountingDeadline, Itemset
 from .base import SupportCounter
 from .hash_tree import HashTree
 from .parallel import ShardedCounter
+from .shm import ShmShardedCounter
 from .transaction_db import TransactionDatabase
 from .trie import CandidateTrie
 from .vertical import (
@@ -73,6 +81,7 @@ __all__ = [
     "NaiveCounter",
     "PackedCounter",
     "ShardedCounter",
+    "ShmShardedCounter",
     "SupportCounter",
     "TrieCounter",
     "available_engines",
@@ -243,6 +252,7 @@ _ENGINES = {
     "bitmap": BitmapCounter,
     "packed": PackedCounter,
     "sharded": ShardedCounter,
+    "shm": ShmShardedCounter,
 }
 
 DEFAULT_ENGINE = "bitmap"

@@ -16,7 +16,13 @@ engines use (`__len__`, `__iter__`, ``transactions``, ``universe``,
 * ``file_reads`` / ``records_streamed`` — how many times the file was
   scanned and how many basket lines were parsed in total;
 * a metadata pass at construction (one read) that fixes ``len`` and the
-  universe without keeping the baskets.
+  universe without keeping the baskets;
+* a :meth:`~DiskTransactionDatabase.snapshot` /
+  :meth:`~DiskTransactionDatabase.from_snapshot` pair built on
+  :mod:`repro.db.snapshot`: the packed vertical index is serialised once
+  per dataset, and later runs skip the basket re-parse entirely — both
+  the metadata pass and the bitmap build are replaced by one
+  memory-mappable file read.
 
 The vertical-bitmap engine still works: its bitmaps are built from one
 streaming pass and cached (they are |I| × |D| *bits*, far smaller than
@@ -28,16 +34,38 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, Optional, Union
 
+from .snapshot import Snapshot, default_snapshot_path, load_snapshot, snapshot_database
+
 PathLike = Union[str, Path]
 
 
 class DiskTransactionDatabase:
-    """Streaming FIMI-format database: every iteration reads the file."""
+    """Streaming FIMI-format database: every iteration reads the file.
 
-    def __init__(self, path: PathLike) -> None:
+    ``snapshot`` (a path or a loaded :class:`~repro.db.snapshot.Snapshot`)
+    supplies the metadata and the vertical bitmaps without parsing the
+    basket file; the basket file is then only touched by code that
+    genuinely needs horizontal rows (``__iter__``, ``transactions``).
+    """
+
+    def __init__(
+        self, path: PathLike, snapshot: Optional[PathLike] = None
+    ) -> None:
         self._path = Path(path)
         self.file_reads = 0
         self.records_streamed = 0
+        self._snapshot: Optional[Snapshot] = None
+        self._bitmaps: Optional[Dict[int, int]] = None
+        if snapshot is not None:
+            snap = (
+                snapshot
+                if isinstance(snapshot, Snapshot)
+                else load_snapshot(snapshot)
+            )
+            self._snapshot = snap
+            self._length = snap.num_rows
+            self._universe = snap.universe
+            return
         count = 0
         items: set = set()
         for transaction in self._stream():
@@ -45,7 +73,6 @@ class DiskTransactionDatabase:
             items.update(transaction)
         self._length = count
         self._universe = tuple(sorted(items))
-        self._bitmaps: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # streaming core
@@ -85,6 +112,16 @@ class DiskTransactionDatabase:
     def transactions(self) -> Iterator[FrozenSet[int]]:
         """A fresh stream over the baskets (one file read per use)."""
         return self._stream()
+
+    @property
+    def path(self) -> Path:
+        """The basket file backing this database."""
+        return self._path
+
+    @property
+    def snapshot_path(self) -> Optional[Path]:
+        """The snapshot file in use, if any."""
+        return self._snapshot.path if self._snapshot is not None else None
 
     @property
     def universe(self):
@@ -133,19 +170,61 @@ class DiskTransactionDatabase:
         After this, the bitmap engine no longer touches the file — the
         bitmaps *are* the database, vertically.  Pass accounting then
         models the paper's I/O, while ``file_reads`` tracks physical
-        reads.
+        reads.  A database opened from a snapshot loads the bitmaps from
+        the snapshot instead, skipping the basket parse.
         """
         if self._bitmaps is None:
-            bitmaps = {item: 0 for item in self._universe}
-            for position, transaction in enumerate(self._stream()):
-                bit = 1 << position
-                for item in transaction:
-                    bitmaps[item] |= bit
-            self._bitmaps = bitmaps
+            if self._snapshot is not None:
+                self._bitmaps = self._snapshot.int_bitmaps()
+            else:
+                bitmaps = {item: 0 for item in self._universe}
+                for position, transaction in enumerate(self._stream()):
+                    bit = 1 << position
+                    for item in transaction:
+                        bitmaps[item] |= bit
+                self._bitmaps = bitmaps
         return self._bitmaps
 
     def occurring_items(self):
         return self._universe
+
+    # ------------------------------------------------------------------
+    # snapshots (repro.db.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot(self, path: Optional[PathLike] = None) -> Path:
+        """Serialise the vertical index to a snapshot file (one read).
+
+        Default location is the basket file plus ``.snap``.  The written
+        snapshot immediately backs this instance too, so subsequent
+        ``item_bitmaps`` users (the counting engines, the shared-memory
+        plane's mmap fallback) read it instead of the baskets.
+        """
+        written = snapshot_database(
+            self, path if path is not None else default_snapshot_path(self._path)
+        )
+        self._snapshot = load_snapshot(written)
+        return written
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: PathLike, basket_path: Optional[PathLike] = None
+    ) -> "DiskTransactionDatabase":
+        """Open a database from its snapshot, skipping the basket parse.
+
+        ``basket_path`` defaults to the snapshot path minus the ``.snap``
+        suffix; it is only touched if horizontal iteration is requested.
+        """
+        snap_path = Path(snapshot)
+        if basket_path is None:
+            name = snap_path.name
+            if not name.endswith(".snap"):
+                raise ValueError(
+                    "cannot infer the basket path from %r; pass basket_path"
+                    % str(snap_path)
+                )
+            basket_path = snap_path.with_name(name[: -len(".snap")])
+        return cls(basket_path, snapshot=snap_path)
 
     # ------------------------------------------------------------------
 

@@ -41,19 +41,53 @@ from ..obs.resources import rusage_snapshot
 from .base import SupportCounter
 from .vertical import build_index
 
-__all__ = ["MIN_ROWS_PER_SHARD", "ShardedCounter", "default_num_shards"]
+__all__ = [
+    "AdaptiveShardScheduler",
+    "MIN_ROWS_PER_SHARD",
+    "PIPE_BATCH_LIMIT",
+    "ShardedCounter",
+    "default_num_shards",
+]
 
 logger = get_logger("db.parallel")
 
 #: Below this many transactions a shard cannot amortise its dispatch cost.
 MIN_ROWS_PER_SHARD = 512
 
+#: Largest candidate batch a single pipe message may carry.  A fused
+#: C_k+MFCS batch can reach tens of thousands of itemsets in Pincer's
+#: early passes; bounding the payload keeps every worker heartbeat (and
+#: the parent's deadline poll) within one chunk of latency.
+PIPE_BATCH_LIMIT = 4096
+
+#: Environment override capping worker counts fleet-wide (operators can
+#: pin CI boxes or shared hosts without touching call sites).
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
 
 def default_num_shards(num_rows: int, max_workers: Optional[int] = None) -> int:
-    """One shard per core, capped so every shard stays worth dispatching."""
+    """One shard per core, capped so every shard stays worth dispatching.
+
+    The ``REPRO_MAX_WORKERS`` environment variable caps the result even
+    when ``max_workers`` is passed explicitly — it is the operator's
+    ceiling, not a default.
+    """
     cores = os.cpu_count() or 1
     cap = max_workers if max_workers is not None else cores
-    return max(1, min(cap, num_rows // MIN_ROWS_PER_SHARD))
+    env_cap = os.environ.get(MAX_WORKERS_ENV)
+    if env_cap:
+        try:
+            cap = min(cap, max(1, int(env_cap)))
+        except ValueError:
+            logger.warning(
+                "ignoring non-integer %s=%r", MAX_WORKERS_ENV, env_cap
+            )
+    shards = max(1, min(cap, num_rows // MIN_ROWS_PER_SHARD))
+    logger.debug(
+        "shard plan: %d shards for %d rows (cores=%d, max_workers=%r, %s=%r)",
+        shards, num_rows, cores, max_workers, MAX_WORKERS_ENV, env_cap,
+    )
+    return shards
 
 
 def _shard_bounds(num_rows: int, num_shards: int) -> List[Tuple[int, int]]:
@@ -78,13 +112,16 @@ def _shard_worker(connection, transactions, universe) -> None:
     and per-shard resource attribution without a side channel.
     """
     num_rows = len(transactions)
+    startup_started = time.perf_counter()
     try:
         index = build_index(transactions, universe)
     except BaseException as exc:  # pragma: no cover - defensive
         connection.send(("error", repr(exc)))
         connection.close()
         return
-    connection.send(("ready", os.getpid()))
+    connection.send(
+        ("ready", os.getpid(), time.perf_counter() - startup_started)
+    )
     while True:
         try:
             message = connection.recv()
@@ -93,11 +130,15 @@ def _shard_worker(connection, transactions, universe) -> None:
         if message is None:
             break
         try:
+            if isinstance(message, tuple) and message[0] == "count":
+                _, batch, bill = message
+            else:  # bare candidate list: one unchunked pass
+                batch, bill = message, True
             started = time.perf_counter()
             cpu_started = time.process_time()
-            counts = index.counts(message)
+            counts = index.counts(batch)
             meta = {
-                "records_read": num_rows,
+                "records_read": num_rows if bill else 0,
                 "seconds": time.perf_counter() - started,
                 "cpu_seconds": time.process_time() - cpu_started,
                 "maxrss_kb": rusage_snapshot().get("maxrss_kb", 0),
@@ -150,6 +191,11 @@ class ShardedCounter(SupportCounter):
         self.last_shard_cpu_seconds: List[float] = []
         #: per-shard worker peak RSS (kB) as of the most recent pass
         self.last_shard_maxrss_kb: List[int] = []
+        #: seconds each worker took to become ready at the latest attach
+        #: (index build for the pipe plane, segment attach for shm)
+        self.worker_startup_seconds: List[float] = []
+        #: pipe-payload chunks the most recent pass was split into
+        self.last_batch_chunks = 0
 
     # ------------------------------------------------------------------
     # worker / shard lifecycle
@@ -205,12 +251,14 @@ class ShardedCounter(SupportCounter):
                 child_end.close()
                 workers.append(worker)
                 connections.append(parent_end)
+            startup_seconds = []
             for connection in connections:
-                kind, payload = connection.recv()
-                if kind != "ready":
+                reply = connection.recv()
+                if reply[0] != "ready":
                     raise RuntimeError(
-                        "shard worker failed to start: %s" % (payload,)
+                        "shard worker failed to start: %s" % (reply[1],)
                     )
+                startup_seconds.append(reply[2] if len(reply) > 2 else 0.0)
         except (OSError, RuntimeError, EOFError):
             for connection in connections:
                 connection.close()
@@ -222,6 +270,7 @@ class ShardedCounter(SupportCounter):
         self._workers = workers
         self._connections = connections
         self.worker_pids = [worker.pid for worker in workers]
+        self.worker_startup_seconds = startup_seconds
         return True
 
     def close(self) -> None:
@@ -244,6 +293,7 @@ class ShardedCounter(SupportCounter):
         self._workers = []
         self._connections = []
         self.worker_pids = []
+        self.worker_startup_seconds = []
         self.shard_rows = []
         self.last_shard_seconds = []
         self.last_shard_cpu_seconds = []
@@ -308,39 +358,55 @@ class ShardedCounter(SupportCounter):
         return dict(zip(candidates, totals))
 
     def _count_in_workers(self, candidates: List[Itemset]) -> List[int]:
-        for connection in self._connections:
-            connection.send(candidates)
+        """One pass through the worker pool, in bounded pipe chunks.
+
+        Batches above :data:`PIPE_BATCH_LIMIT` are split so no single
+        message (or worker compute burst) can stall the heartbeat; the
+        shard only bills its rows on the first chunk — the pass still
+        reads each transaction once, however many chunks carried it.
+        """
         totals = [0] * len(candidates)
         self.last_shard_seconds = [0.0] * len(self._connections)
         self.last_shard_cpu_seconds = [0.0] * len(self._connections)
         self.last_shard_maxrss_kb = [0] * len(self._connections)
-        pending = set(range(len(self._connections)))
-        while pending:
-            try:
-                self._check_deadline()
-            except Exception:
-                # pending replies would poison the next pass: drop the
-                # pool; the next count() re-attaches cleanly
-                self.close()
-                raise
-            for shard in sorted(pending):
-                connection = self._connections[shard]
-                if not connection.poll(0.01):
-                    continue
-                reply = connection.recv()
-                if reply[0] != "counts":
+        starts = range(0, len(candidates), PIPE_BATCH_LIMIT)
+        self.last_batch_chunks = len(starts)
+        for chunk_index, start in enumerate(starts):
+            chunk = candidates[start : start + PIPE_BATCH_LIMIT]
+            for connection in self._connections:
+                connection.send(("count", chunk, chunk_index == 0))
+            pending = set(range(len(self._connections)))
+            while pending:
+                try:
+                    self._check_deadline()
+                except Exception:
+                    # pending replies would poison the next pass: drop the
+                    # pool; the next count() re-attaches cleanly
                     self.close()
-                    raise RuntimeError("shard %d failed: %s" % (shard, reply[1]))
-                _, payload, meta = reply
-                for position, count in enumerate(payload):
-                    totals[position] += count
-                self.records_read += meta["records_read"]
-                self.last_shard_seconds[shard] = meta["seconds"]
-                self.last_shard_cpu_seconds[shard] = meta.get(
-                    "cpu_seconds", 0.0
-                )
-                self.last_shard_maxrss_kb[shard] = meta.get("maxrss_kb", 0)
-                pending.discard(shard)
+                    raise
+                for shard in sorted(pending):
+                    connection = self._connections[shard]
+                    if not connection.poll(0.01):
+                        continue
+                    reply = connection.recv()
+                    if reply[0] != "counts":
+                        self.close()
+                        raise RuntimeError(
+                            "shard %d failed: %s" % (shard, reply[1])
+                        )
+                    _, payload, meta = reply
+                    for position, count in enumerate(payload):
+                        totals[start + position] += count
+                    self.records_read += meta["records_read"]
+                    self.last_shard_seconds[shard] += meta["seconds"]
+                    self.last_shard_cpu_seconds[shard] += meta.get(
+                        "cpu_seconds", 0.0
+                    )
+                    self.last_shard_maxrss_kb[shard] = max(
+                        self.last_shard_maxrss_kb[shard],
+                        meta.get("maxrss_kb", 0),
+                    )
+                    pending.discard(shard)
         return totals
 
     def _record_shard_metrics(self) -> None:
@@ -366,3 +432,111 @@ class ShardedCounter(SupportCounter):
             cpu_seconds.observe(seconds)
         if self.last_shard_maxrss_kb:
             obs.gauge("shard.max_rss_kb").set(max(self.last_shard_maxrss_kb))
+        if self.last_batch_chunks:
+            obs.counter("shard.batch_chunks").inc(self.last_batch_chunks)
+            self.last_batch_chunks = 0
+
+
+class AdaptiveShardScheduler:
+    """Per-pass choice between row-sharding and candidate work-stealing.
+
+    With every worker attached to the *whole* shared index
+    (:mod:`repro.db.shm`), a pass can be partitioned along either axis:
+
+    * ``"rows"`` — each worker counts all candidates on its word-aligned
+      transaction slice; cheapest coordination, but a pass with few
+      candidates on many workers leaves the per-candidate vectorization
+      underfed, and static slices cannot absorb skew.
+    * ``"candidates"`` — workers steal fixed-size candidate chunks off a
+      shared cursor and count them against the full index; perfect for
+      the wide fused C_k+MFCS batches of Pincer's early passes, and skew
+      self-balances by construction.
+
+    The choice is structural when it must be (too few candidates to
+    slice, or fewer matrix words than workers) and measured when it can
+    be: per-mode EWMA throughput (candidates/second over observed
+    passes) picks the faster mode once both have been tried, with
+    hysteresis so a noisy pass cannot cause flapping.  The miner can feed
+    its flight-recorder per-candidate rate via :meth:`note_miner_rate`;
+    passes predicted to finish almost instantly stay in row mode, where
+    there is no cursor lock to contend on.
+    """
+
+    MIN_CHUNK = 64
+    MAX_CHUNK = 4096
+    #: A measured mode must beat the other by this factor to win.
+    HYSTERESIS = 1.2
+    #: Predicted pass wall-time below which stealing overhead dominates.
+    MIN_STEAL_SECONDS = 0.005
+
+    def __init__(
+        self,
+        num_workers: int,
+        chunk: Optional[int] = None,
+        alpha: float = 0.4,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self._fixed_chunk = chunk
+        self._alpha = alpha
+        self._rates: Dict[str, Optional[float]] = {
+            "rows": None, "candidates": None,
+        }
+        self._miner_rate: Optional[float] = None
+        #: decisions taken so far, by mode (observability + tests)
+        self.decisions: Dict[str, int] = {"rows": 0, "candidates": 0}
+
+    def chunk_for(self, num_candidates: int) -> int:
+        """Work-stealing chunk size: ~4 chunks per worker, clamped."""
+        if self._fixed_chunk:
+            return max(1, self._fixed_chunk)
+        target = -(-num_candidates // (4 * self.num_workers))
+        return max(self.MIN_CHUNK, min(self.MAX_CHUNK, target))
+
+    def choose(self, num_candidates: int, num_rows: int):
+        """-> ``(mode, chunk)`` for a pass of this shape."""
+        mode = self._pick(num_candidates, num_rows)
+        self.decisions[mode] += 1
+        return mode, self.chunk_for(num_candidates)
+
+    def _pick(self, num_candidates: int, num_rows: int) -> str:
+        if num_candidates < 2 * self.num_workers:
+            return "rows"  # not enough candidates to keep stealers busy
+        num_words = max(1, (num_rows + 63) // 64)
+        if num_words < self.num_workers:
+            return "candidates"  # row slices would idle some workers
+        if self._miner_rate:
+            predicted = num_candidates / self._miner_rate
+            if predicted < self.MIN_STEAL_SECONDS:
+                return "rows"
+        rows_rate = self._rates["rows"]
+        candidates_rate = self._rates["candidates"]
+        if rows_rate is not None and candidates_rate is not None:
+            if candidates_rate > rows_rate * self.HYSTERESIS:
+                return "candidates"
+            if rows_rate > candidates_rate * self.HYSTERESIS:
+                return "rows"
+            # within the hysteresis band: keep the cheaper coordination
+            return "rows"
+        # unmeasured: wide batches amortise stealing, narrow ones don't
+        if num_candidates >= self.num_workers * self.MIN_CHUNK:
+            return "candidates"
+        return "rows"
+
+    def observe(self, mode: str, num_candidates: int, seconds: float) -> None:
+        """Feed back a completed pass's throughput for ``mode``."""
+        if seconds <= 0.0 or num_candidates <= 0:
+            return
+        rate = num_candidates / seconds
+        previous = self._rates.get(mode)
+        self._rates[mode] = (
+            rate
+            if previous is None
+            else (1.0 - self._alpha) * previous + self._alpha * rate
+        )
+
+    def note_miner_rate(self, rate: Optional[float]) -> None:
+        """Accept the miner's observed per-candidate counting rate (c/s)."""
+        if rate and rate > 0.0:
+            self._miner_rate = rate

@@ -1,0 +1,777 @@
+"""Zero-copy shared-memory data plane: the ``shm`` engine.
+
+The ``sharded`` engine (:mod:`repro.db.parallel`) pays a pre-parallel tax
+the paper's cost model never sees: every worker process re-builds a
+shard-local vertical index from pickled transactions at startup, and
+every pass moves candidate batches and count vectors through pipes as
+pickled Python objects.  This module removes both copies:
+
+* **One index, attached everywhere.**  The parent builds (or
+  memory-maps, via a :mod:`repro.db.snapshot` file) the packed uint64
+  bitmap matrix once, publishes it in a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment, and each
+  worker attaches NumPy views over the same physical pages — worker
+  startup is O(1) regardless of ``|D|``, and the transactions are never
+  forked or pickled per worker.
+* **Flat-encoded batches, preallocated results.**  Per pass, the parent
+  maps candidates to matrix-row ids once and writes the flat encoding
+  into a shared batch block; counts come back through a preallocated
+  shared ``uint32`` result array (one row per worker, summed by the
+  parent).  The only pipe traffic is a tiny per-pass control message.
+* **Two sharding shapes.**  Because every worker sees the *whole* index,
+  each pass can be split either by transactions (word-aligned column
+  slices of the matrix: many rows, few candidates) or by candidates with
+  work-stealing chunks off a shared cursor (few rows, wide fused
+  C_k+MFCS batches — exactly Pincer's early passes).  The choice is made
+  per pass by :class:`repro.db.parallel.AdaptiveShardScheduler`.
+
+Fallback ladder, walked automatically: shared memory → ``mmap`` of a
+snapshot file → the classic fork/pipe plane of
+:class:`~repro.db.parallel.ShardedCounter` → in-process serial shards.
+All rungs produce byte-identical counts and identical pass/IO
+accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+import weakref
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .._types import Itemset
+from ..obs.logsetup import get_logger
+from ..obs.resources import rusage_snapshot
+from .parallel import AdaptiveShardScheduler, ShardedCounter, default_num_shards
+from .snapshot import load_snapshot, snapshot_database
+from .vertical import HAVE_NUMPY, PackedBitmapIndex
+
+try:  # pragma: no cover - mirrors repro.db.vertical
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - very old interpreters
+    _shared_memory = None
+
+__all__ = ["ShmShardedCounter", "attach_segment"]
+
+logger = get_logger("db.shm")
+
+#: Initial shared-batch capacity (candidates / flat items); grows 2x.
+INITIAL_BATCH_CAPACITY = 4096
+INITIAL_ITEM_CAPACITY = 4 * INITIAL_BATCH_CAPACITY
+
+
+def attach_segment(name: str, untrack: Optional[bool] = None):
+    """Attach an existing shared-memory segment without tracker ownership.
+
+    Attaching registers the segment with the process's
+    ``resource_tracker`` on Pythons before 3.13, which makes the *worker*
+    unlink (and warn about) a segment the parent still owns when the
+    worker exits.  The creator is the sole owner here, so attachments are
+    explicitly untracked: ``track=False`` where supported, manual
+    ``resource_tracker.unregister`` otherwise.
+
+    The manual path matters only when the attaching process runs its
+    *own* tracker (spawn/forkserver children); a fork child shares the
+    parent's tracker, where the duplicate registration is an idempotent
+    set-add and unregistering here would steal the parent's entry.
+    ``untrack=None`` decides from the process's start method.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        segment = _shared_memory.SharedMemory(name=name, create=False)
+        if untrack is None:
+            try:
+                import multiprocessing
+
+                untrack = multiprocessing.get_start_method() != "fork"
+            except Exception:  # pragma: no cover
+                untrack = False
+        if untrack:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker API drift
+                pass
+        return segment
+
+
+def _unlink_segments(segments: List) -> None:
+    """Best-effort close+unlink of owned blocks (also the GC finalizer)."""
+    while segments:
+        segment = segments.pop()
+        for method in ("close", "unlink"):
+            try:
+                getattr(segment, method)()
+            except (AttributeError, BufferError, FileNotFoundError, OSError):
+                pass
+
+
+class _SharedBlock:
+    """One parent-owned shared byte range, per the plane's rung.
+
+    ``"shm"`` backs it with a POSIX shared-memory segment; ``"mmap"``
+    with a ``MAP_SHARED`` temp file — so the mmap rung works end to end
+    even when ``/dev/shm`` is unavailable or full (its reason to exist).
+    ``name`` is what workers attach by: the segment name or the path.
+    """
+
+    def __init__(self, plane: str, size: int) -> None:
+        self.plane = plane
+        self._mapped = None
+        self._segment = None
+        if plane == "shm":
+            self._segment = _shared_memory.SharedMemory(create=True, size=size)
+            self.name = self._segment.name
+        else:
+            handle, path = tempfile.mkstemp(
+                prefix="pincer-shm-", suffix=".blk"
+            )
+            os.ftruncate(handle, size)
+            os.close(handle)
+            self._mapped = _np.memmap(
+                path, dtype=_np.uint8, mode="r+", shape=(size,)
+            )
+            self.name = path
+
+    @property
+    def buf(self):
+        return self._segment.buf if self._segment is not None else self._mapped
+
+    def close(self) -> None:
+        if self._segment is not None:
+            self._segment.close()
+        self._mapped = None
+
+    def unlink(self) -> None:
+        if self._segment is not None:
+            self._segment.unlink()
+        else:
+            os.unlink(self.name)
+
+
+def _word_bounds(num_words: int, num_workers: int) -> List[Tuple[int, int]]:
+    """Contiguous word ranges per worker (some may be empty on tiny dbs)."""
+    base, extra = divmod(num_words, num_workers)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for worker in range(num_workers):
+        stop = start + base + (1 if worker < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+
+def _shm_worker(connection, spec: Dict, cursor) -> None:
+    """Attach the shared index, then serve count tasks until told to stop.
+
+    ``spec`` describes the matrix (shared segment name, or snapshot path
+    plus offset for the mmap rung), this worker's word-aligned row shard,
+    and its slot in the result array.  Candidate batches arrive through
+    the shared batch block named in each task message; nothing bigger
+    than a small control dict ever crosses the pipe.
+    """
+    import numpy as np
+
+    started = time.perf_counter()
+    matrix_segment = None
+    untrack = spec.get("untrack")
+    try:
+        if spec["plane"] == "shm":
+            matrix_segment = attach_segment(spec["matrix_name"], untrack)
+            matrix = np.ndarray(
+                spec["shape"], dtype=np.uint64, buffer=matrix_segment.buf
+            )
+        else:  # mmap rung: the snapshot file is the shared medium
+            matrix = np.memmap(
+                spec["snapshot_path"],
+                dtype="<u8",
+                mode="r",
+                offset=spec["matrix_offset"],
+                shape=spec["shape"],
+            )
+        full_index = PackedBitmapIndex(matrix, {}, spec["num_rows"])
+        word_lo, word_hi = spec["word_range"]
+        slice_index = full_index.word_slice(word_lo, word_hi)
+    except BaseException as exc:  # pragma: no cover - defensive
+        connection.send(("error", repr(exc)))
+        connection.close()
+        return
+    connection.send(("ready", os.getpid(), time.perf_counter() - started))
+
+    worker_id = spec["worker"]
+    num_workers = spec["num_workers"]
+    batch_segment = results_segment = None
+    attached_names: Tuple[Optional[str], Optional[str]] = (None, None)
+    while True:
+        try:
+            task = connection.recv()
+        except EOFError:  # parent vanished
+            break
+        if task is None:
+            break
+        try:
+            names = (task["batch_name"], task["results_name"])
+            if names != attached_names:
+                _close_quietly(batch_segment, results_segment)
+                batch_segment, batch_buffer = _attach_block(
+                    spec["plane"], names[0], untrack
+                )
+                results_segment, results_buffer = _attach_block(
+                    spec["plane"], names[1], untrack
+                )
+                attached_names = names
+            capacity = task["capacity_candidates"]
+            lengths_all = np.ndarray(
+                (capacity,), dtype=np.int64, buffer=batch_buffer
+            )
+            flat_all = np.ndarray(
+                (task["capacity_items"],),
+                dtype=np.int64,
+                buffer=batch_buffer,
+                offset=capacity * 8,
+            )
+            results = np.ndarray(
+                (num_workers, capacity),
+                dtype=np.uint32,
+                buffer=results_buffer,
+            )
+            n = task["n"]
+            lengths = lengths_all[:n]
+            flat_rows = flat_all[: task["flat_len"]]
+            offsets = np.zeros(n, dtype=np.intp)
+            if n > 1:
+                np.cumsum(lengths[:-1], out=offsets[1:])
+            out = results[worker_id]
+
+            wall_started = time.perf_counter()
+            cpu_started = time.process_time()
+            hits_before = full_index.prefix_hits + slice_index.prefix_hits
+            misses_before = full_index.prefix_misses + slice_index.prefix_misses
+            chunks_taken = 0
+            if task["mode"] == "rows":
+                slice_index.counts_into(
+                    lengths, flat_rows, out, 0, n, offsets=offsets
+                )
+                records_read = slice_index.num_rows
+            else:
+                chunk = task["chunk"]
+                while True:
+                    with cursor.get_lock():
+                        chunk_id = cursor.value
+                        cursor.value = chunk_id + 1
+                    lo = chunk_id * chunk
+                    if lo >= n:
+                        break
+                    full_index.counts_into(
+                        lengths, flat_rows, out, lo, min(lo + chunk, n),
+                        offsets=offsets,
+                    )
+                    chunks_taken += 1
+                # the pass reads the database once logically, whichever
+                # worker touches which candidate; the parent bills |D|
+                records_read = 0
+            meta = {
+                "records_read": records_read,
+                "seconds": time.perf_counter() - wall_started,
+                "cpu_seconds": time.process_time() - cpu_started,
+                "maxrss_kb": rusage_snapshot().get("maxrss_kb", 0),
+                "chunks_taken": chunks_taken,
+                "prefix_hits": full_index.prefix_hits
+                + slice_index.prefix_hits
+                - hits_before,
+                "prefix_misses": full_index.prefix_misses
+                + slice_index.prefix_misses
+                - misses_before,
+            }
+            connection.send(("done", meta))
+        except BaseException as exc:  # pragma: no cover - defensive
+            connection.send(("error", repr(exc)))
+    try:
+        del lengths_all, flat_all, results
+    except NameError:  # stopped before the first task
+        pass
+    del matrix, full_index, slice_index
+    _close_quietly(batch_segment, results_segment, matrix_segment)
+    connection.close()
+
+
+def _close_quietly(*segments) -> None:
+    for segment in segments:
+        if segment is not None:
+            try:
+                segment.close()
+            except (AttributeError, BufferError, OSError):  # pragma: no cover
+                pass  # np.memmap blocks have no close(); GC unmaps them
+
+
+def _attach_block(plane: str, name: str, untrack):
+    """Worker-side attach: -> ``(holder, buffer)`` for either rung."""
+    import numpy as np
+
+    if plane == "shm":
+        segment = attach_segment(name, untrack)
+        return segment, segment.buf
+    mapped = np.memmap(name, dtype=np.uint8, mode="r+")
+    return mapped, mapped
+
+
+# ----------------------------------------------------------------------
+# parent-side plane state
+# ----------------------------------------------------------------------
+
+
+class _ShmPlane:
+    """Parent-side handle on the shared segments and worker specs."""
+
+    def __init__(self, plane: str, num_rows: int, num_words: int) -> None:
+        self.plane = plane  # "shm" | "mmap"
+        self.num_rows = num_rows
+        self.num_words = num_words
+        self.matrix_segment = None
+        self.temp_snapshot: Optional[Path] = None
+        self.batch_segment = None
+        self.results_segment = None
+        self.capacity_candidates = 0
+        self.capacity_items = 0
+        self.num_workers = 0
+        self.cursor = None
+        self.lengths = None  # np views over the batch/results blocks
+        self.flat = None
+        self.results = None
+        #: owned segments, shared with the GC finalizer for leak-proofing
+        self.owned: List = []
+
+    def ensure_capacity(self, num_candidates: int, num_items: int) -> None:
+        """(Re)allocate the batch + result blocks; unlink outgrown ones."""
+        if (
+            num_candidates <= self.capacity_candidates
+            and num_items <= self.capacity_items
+        ):
+            return
+        capacity_c = max(
+            INITIAL_BATCH_CAPACITY, 2 * self.capacity_candidates, num_candidates
+        )
+        capacity_i = max(
+            INITIAL_ITEM_CAPACITY, 2 * self.capacity_items, num_items
+        )
+        old = [
+            segment
+            for segment in (self.batch_segment, self.results_segment)
+            if segment is not None
+        ]
+        self.lengths = self.flat = self.results = None
+        batch_bytes = capacity_c * 8 + capacity_i * 8
+        results_bytes = self.num_workers * capacity_c * 4
+        self.batch_segment = _SharedBlock(self.plane, batch_bytes)
+        self.results_segment = _SharedBlock(self.plane, results_bytes)
+        self.owned.extend([self.batch_segment, self.results_segment])
+        self.capacity_candidates = capacity_c
+        self.capacity_items = capacity_i
+        self.lengths = _np.ndarray(
+            (capacity_c,), dtype=_np.int64, buffer=self.batch_segment.buf
+        )
+        self.flat = _np.ndarray(
+            (capacity_i,),
+            dtype=_np.int64,
+            buffer=self.batch_segment.buf,
+            offset=capacity_c * 8,
+        )
+        self.results = _np.ndarray(
+            (self.num_workers, capacity_c),
+            dtype=_np.uint32,
+            buffer=self.results_segment.buf,
+        )
+        for segment in old:
+            # workers still hold the old mapping until their next task
+            # message names the new segments; unlinking now only removes
+            # the name
+            self.owned.remove(segment)
+            try:
+                segment.unlink()
+                segment.close()
+            except (BufferError, FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        del old
+
+    def task_header(self) -> Dict:
+        return {
+            "batch_name": self.batch_segment.name,
+            "results_name": self.results_segment.name,
+            "capacity_candidates": self.capacity_candidates,
+            "capacity_items": self.capacity_items,
+        }
+
+    def close(self) -> None:
+        self.lengths = self.flat = self.results = None
+        _unlink_segments(self.owned)
+        self.matrix_segment = None
+        self.batch_segment = None
+        self.results_segment = None
+        if self.temp_snapshot is not None:
+            try:
+                self.temp_snapshot.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            self.temp_snapshot = None
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+class ShmShardedCounter(ShardedCounter):
+    """The ``shm`` engine: sharded counting over one shared index.
+
+    Inherits the whole pipe-plane machinery of :class:`ShardedCounter`
+    as its third fallback rung; everything above it replaces per-worker
+    index builds and pickled batches with shared-memory attaches.
+
+    Parameters match :class:`ShardedCounter`, plus:
+
+    steal_chunk:
+        Candidate-mode work-stealing chunk size override (default: the
+        scheduler picks per pass).
+    """
+
+    name = "shm"
+
+    def __init__(
+        self,
+        num_shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        use_processes: Optional[bool] = None,
+        steal_chunk: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            num_shards=num_shards,
+            max_workers=max_workers,
+            use_processes=use_processes,
+        )
+        self._steal_chunk = steal_chunk
+        self._plane: Optional[_ShmPlane] = None
+        self._parent_index: Optional[PackedBitmapIndex] = None
+        self._scheduler: Optional[AdaptiveShardScheduler] = None
+        self._finalizer = None
+        #: which rung of the fallback ladder is serving: "shm", "mmap",
+        #: "pipe" (inherited worker plane) or "serial"
+        self.plane = "unattached"
+        #: seconds the most recent attach took (index + publish + spawn)
+        self.last_attach_seconds = 0.0
+        #: per-worker startup seconds reported at the latest attach
+        self.worker_startup_seconds: List[float] = []
+        #: scheduler decision of the most recent pass
+        self.last_mode: Optional[str] = None
+        #: work-stealing accounting (cumulative since attach)
+        self.steals = 0
+        self.chunks_dispatched = 0
+
+    # ------------------------------------------------------------------
+    # attach / detach
+    # ------------------------------------------------------------------
+
+    def _attach(self, db) -> None:
+        attach_started = time.perf_counter()
+        self.close()
+        num_rows = len(db)
+        workers = self._num_shards or default_num_shards(
+            num_rows, self._max_workers
+        )
+        workers = max(1, min(workers, num_rows) if num_rows else 1)
+        processes = (
+            self._use_processes if self._use_processes is not None else workers > 1
+        )
+        if (
+            HAVE_NUMPY
+            and _shared_memory is not None
+            and processes
+            and workers > 1
+            and self._attach_shared(db, workers)
+        ):
+            self._db_ref = weakref.ref(db)
+            self.last_attach_seconds = time.perf_counter() - attach_started
+            if self.obs.enabled:
+                self.obs.gauge("shard.attach_seconds").set(
+                    self.last_attach_seconds
+                )
+            logger.debug(
+                "shm plane up: %s, %d workers, %d words, attach %.4fs "
+                "(worker startup max %.4fs)",
+                self.plane, workers, self._plane.num_words,
+                self.last_attach_seconds,
+                max(self.worker_startup_seconds or [0.0]),
+            )
+            return
+        super()._attach(db)  # pipe plane or serial shards
+        self.plane = "pipe" if self._connections else "serial"
+        self.last_attach_seconds = time.perf_counter() - attach_started
+
+    def _attach_shared(self, db, workers: int) -> bool:
+        """Publish the index and spawn attach-only workers; False to fall."""
+        index = self._build_parent_index(db)
+        matrix = index._matrix
+        num_words = index.num_words
+        plane: Optional[_ShmPlane] = None
+        try:
+            plane = _ShmPlane("shm", index.num_rows, num_words)
+            segment = _shared_memory.SharedMemory(
+                create=True, size=int(matrix.nbytes)
+            )
+            plane.matrix_segment = segment
+            plane.owned.append(segment)
+            shared_matrix = _np.ndarray(
+                matrix.shape, dtype=_np.uint64, buffer=segment.buf
+            )
+            shared_matrix[:] = matrix
+            del shared_matrix
+            matrix_spec = {"plane": "shm", "matrix_name": segment.name}
+        except (OSError, ValueError):
+            if plane is not None:
+                plane.close()
+            plane, matrix_spec = self._mmap_fallback(db, index, num_words)
+            if plane is None:
+                return False
+        plane.num_workers = workers
+        if not self._spawn_shm_workers(plane, matrix_spec, index, workers):
+            plane.close()
+            return False
+        self._plane = plane
+        self._parent_index = index
+        self._scheduler = AdaptiveShardScheduler(
+            workers, chunk=self._steal_chunk
+        )
+        self.plane = plane.plane
+        self.shard_rows = self._slice_rows(index, workers)
+        self.steals = 0
+        self.chunks_dispatched = 0
+        # leak-proofing: unlink whatever is still owned when the counter
+        # is garbage-collected or the interpreter exits without close()
+        self._finalizer = weakref.finalize(self, _unlink_segments, plane.owned)
+        return True
+
+    def _build_parent_index(self, db) -> PackedBitmapIndex:
+        """The full vertical index — memory-mapped when a snapshot exists."""
+        snapshot_path = getattr(db, "snapshot_path", None)
+        if snapshot_path is not None:
+            return load_snapshot(snapshot_path).packed_index()
+        return PackedBitmapIndex.from_database(db)
+
+    def _mmap_fallback(self, db, index, num_words):
+        """Second rung: share the matrix through a snapshot file mmap."""
+        try:
+            snapshot_path = getattr(db, "snapshot_path", None)
+            temp_snapshot = None
+            if snapshot_path is None:
+                handle, name = tempfile.mkstemp(
+                    prefix="pincer-shm-", suffix=".snap"
+                )
+                os.close(handle)
+                temp_snapshot = Path(name)
+                snapshot_database(db, temp_snapshot)
+                snapshot_path = temp_snapshot
+            snap = load_snapshot(snapshot_path)
+            plane = _ShmPlane("mmap", index.num_rows, num_words)
+            plane.temp_snapshot = temp_snapshot
+            return plane, {
+                "plane": "mmap",
+                "snapshot_path": str(snapshot_path),
+                "matrix_offset": snap.matrix_offset,
+            }
+        except (OSError, ValueError):  # pragma: no cover - disk exhaustion
+            return None, None
+
+    def _slice_rows(self, index, workers: int) -> List[int]:
+        rows = []
+        for word_lo, word_hi in _word_bounds(index.num_words, workers):
+            lo = min(index.num_rows, word_lo * 64)
+            hi = min(index.num_rows, word_hi * 64)
+            rows.append(hi - lo)
+        return rows
+
+    def _spawn_shm_workers(self, plane, matrix_spec, index, workers) -> bool:
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        plane.cursor = context.Value("l", 0)
+        untrack = context.get_start_method() != "fork"
+        bounds = _word_bounds(index.num_words, workers)
+        processes: List = []
+        connections: List = []
+        self.worker_startup_seconds = []
+        try:
+            for worker_id, word_range in enumerate(bounds):
+                spec = dict(
+                    matrix_spec,
+                    shape=(int(index._matrix.shape[0]), index.num_words),
+                    num_rows=index.num_rows,
+                    word_range=word_range,
+                    worker=worker_id,
+                    num_workers=workers,
+                    untrack=untrack,
+                )
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_shm_worker,
+                    args=(child_end, spec, plane.cursor),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                processes.append(process)
+                connections.append(parent_end)
+            for connection in connections:
+                reply = connection.recv()
+                if reply[0] != "ready":
+                    raise RuntimeError(
+                        "shm worker failed to start: %s" % (reply[1],)
+                    )
+                self.worker_startup_seconds.append(reply[2])
+        except (OSError, RuntimeError, EOFError):
+            for connection in connections:
+                connection.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=1.0)
+            return False
+        self._workers = processes
+        self._connections = connections
+        self.worker_pids = [process.pid for process in processes]
+        return True
+
+    def close(self) -> None:
+        super().close()
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
+        self._parent_index = None
+        self._scheduler = None
+        self.plane = "unattached"
+        self.last_mode = None
+        self.worker_startup_seconds = []
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+
+    def note_pass_rate(self, rate: Optional[float]) -> None:
+        """Miner-observed candidates/second: feeds the mode scheduler."""
+        if self._scheduler is not None:
+            self._scheduler.note_miner_rate(rate)
+
+    def _count(self, db, candidates: List[Itemset]) -> Dict[Itemset, int]:
+        if not self._attached_to(db):
+            self._attach(db)
+        if self._plane is None:
+            return super()._count(db, candidates)
+        totals = self._count_shared(candidates)
+        self._record_shard_metrics()
+        return dict(zip(candidates, totals))
+
+    def _count_shared(self, candidates: List[Itemset]) -> List[int]:
+        plane = self._plane
+        index = self._parent_index
+        n = len(candidates)
+        lengths, flat_rows = index.map_candidates(candidates)
+        plane.ensure_capacity(n, len(flat_rows))
+        plane.lengths[:n] = lengths
+        plane.flat[: len(flat_rows)] = flat_rows
+        mode, chunk = self._scheduler.choose(n, plane.num_rows)
+        self.last_mode = mode
+        if mode == "candidates":
+            plane.results[:, :n] = 0
+            plane.cursor.value = 0
+        task = plane.task_header()
+        task.update(
+            n=n, flat_len=len(flat_rows), mode=mode, chunk=chunk,
+            num_workers=plane.num_workers,
+        )
+        pass_started = time.perf_counter()
+        try:
+            for connection in self._connections:
+                connection.send(task)
+        except (BrokenPipeError, OSError):
+            self.close()
+            raise RuntimeError("shm worker died mid-pass") from None
+        metas = self._collect_replies()
+        seconds = time.perf_counter() - pass_started
+        self._scheduler.observe(mode, n, seconds)
+        if mode == "candidates":
+            self.records_read += plane.num_rows
+            total_chunks = (n + chunk - 1) // chunk
+            self.chunks_dispatched += total_chunks
+            fair_share = -(-total_chunks // plane.num_workers)
+            steals = sum(
+                max(0, meta["chunks_taken"] - fair_share) for meta in metas
+            )
+            self.steals += steals
+        else:
+            steals = 0
+        totals = plane.results[: plane.num_workers, :n].sum(
+            axis=0, dtype=_np.int64
+        )
+        if self.obs.enabled:
+            self.obs.counter("scheduler.mode.%s" % mode).inc()
+            self.obs.counter("shard.steals").inc(steals)
+            hits = sum(meta["prefix_hits"] for meta in metas)
+            misses = sum(meta["prefix_misses"] for meta in metas)
+            self.obs.counter("prefix_cache.hits").inc(hits)
+            self.obs.counter("prefix_cache.misses").inc(misses)
+        return totals.tolist()
+
+    def _collect_replies(self) -> List[Dict]:
+        """Deadline-aware reply collection (mirrors the pipe plane)."""
+        metas: List[Optional[Dict]] = [None] * len(self._connections)
+        self.last_shard_seconds = [0.0] * len(self._connections)
+        self.last_shard_cpu_seconds = [0.0] * len(self._connections)
+        self.last_shard_maxrss_kb = [0] * len(self._connections)
+        pending = set(range(len(self._connections)))
+        while pending:
+            try:
+                self._check_deadline()
+            except Exception:
+                self.close()
+                raise
+            for shard in sorted(pending):
+                connection = self._connections[shard]
+                try:
+                    if not connection.poll(0.01):
+                        continue
+                    reply = connection.recv()
+                except (EOFError, OSError):
+                    self.close()
+                    raise RuntimeError(
+                        "shm worker %d died mid-pass" % shard
+                    ) from None
+                if reply[0] != "done":
+                    self.close()
+                    raise RuntimeError(
+                        "shm worker %d failed: %s" % (shard, reply[1])
+                    )
+                meta = reply[1]
+                metas[shard] = meta
+                self.records_read += meta["records_read"]
+                self.last_shard_seconds[shard] = meta["seconds"]
+                self.last_shard_cpu_seconds[shard] = meta["cpu_seconds"]
+                self.last_shard_maxrss_kb[shard] = meta["maxrss_kb"]
+                pending.discard(shard)
+        return [meta for meta in metas if meta is not None]

@@ -1,0 +1,270 @@
+"""Versioned on-disk packed-bitmap snapshots (the ``.snap`` format).
+
+A snapshot serialises the *vertical* view of a transaction database — the
+``(num_items, num_words)`` uint64 bitmap matrix of
+:class:`repro.db.vertical.PackedBitmapIndex`, plus the item universe and
+the row count — into a single flat file designed to be **memory-mapped**:
+every multi-byte field is little-endian, the matrix is row-major, and
+both the universe array and the matrix start on 8-byte boundaries, so a
+reader can hand the OS page cache the whole index with one
+``numpy.memmap`` call and zero parsing.
+
+This is the pre-parallel tax killer for out-of-core mining: a
+:class:`repro.db.disk.DiskTransactionDatabase` normally pays one full
+basket parse for the metadata pass and another to build bitmaps.  With a
+snapshot (``pincer snapshot data.dat``), both are replaced by one
+``open`` + header read, and the shared-memory counting plane
+(:mod:`repro.db.shm`) can fall back to mapping this file directly when
+POSIX shared memory is unavailable.
+
+Layout (version 1)::
+
+    offset  size               field
+    ------  ----               -----
+         0  8                  magic  b"PINCSNAP"
+         8  4                  format version (uint32)
+        12  4                  reserved flags (uint32, zero)
+        16  8                  num_rows   (uint64) — transactions
+        24  8                  num_items  (uint64) — universe size
+        32  8                  num_words  (uint64) — ceil(num_rows/64), min 1
+        40  8 * num_items      universe   (int64, ascending)
+         …  8 * num_items
+             * num_words       bitmap matrix (uint64, row-major; row i is
+                               the transaction bitmap of ``universe[i]``,
+                               little-endian across words, tail bits zero)
+
+The format is self-describing and NumPy-optional: :func:`write_snapshot`
+and :meth:`Snapshot.int_bitmaps` work with pure-Python int bitmaps, so
+snapshots written on a NumPy box load on a bare interpreter and vice
+versa.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from .vertical import HAVE_NUMPY, IntBitmapIndex, PackedBitmapIndex
+
+try:  # pragma: no cover - import guard mirrors repro.db.vertical
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_SUFFIX",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "SnapshotFormatError",
+    "default_snapshot_path",
+    "load_snapshot",
+    "snapshot_database",
+    "write_snapshot",
+]
+
+SNAPSHOT_MAGIC = b"PINCSNAP"
+SNAPSHOT_VERSION = 1
+SNAPSHOT_SUFFIX = ".snap"
+
+_HEADER = struct.Struct("<8sIIQQQ")
+HEADER_SIZE = _HEADER.size  # 40 bytes; keeps the arrays 8-byte aligned
+
+
+class SnapshotFormatError(ValueError):
+    """The file is not a snapshot this reader understands."""
+
+
+def default_snapshot_path(database_path: PathLike) -> Path:
+    """``data.dat`` -> ``data.dat.snap`` (suffix appended, not replaced)."""
+    path = Path(database_path)
+    return path.with_name(path.name + SNAPSHOT_SUFFIX)
+
+
+def _num_words(num_rows: int) -> int:
+    return max(1, (num_rows + 63) // 64)
+
+
+def write_snapshot(
+    path: PathLike,
+    universe: Iterable[int],
+    num_rows: int,
+    bitmaps: Optional[Dict[int, int]] = None,
+    matrix=None,
+) -> Path:
+    """Serialise a vertical index to ``path`` (atomic: write + rename).
+
+    Exactly one of ``bitmaps`` (item -> arbitrary-precision int bitmap,
+    the lazy vertical view) and ``matrix`` (a ``(num_items, num_words)``
+    uint64 array whose row order matches sorted ``universe``) must be
+    given.
+    """
+    if (bitmaps is None) == (matrix is None):
+        raise ValueError("give exactly one of bitmaps and matrix")
+    items = sorted(set(int(item) for item in universe))
+    words = _num_words(num_rows)
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp.%d" % os.getpid())
+    with open(temp, "wb") as handle:
+        handle.write(
+            _HEADER.pack(
+                SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0,
+                num_rows, len(items), words,
+            )
+        )
+        handle.write(struct.pack("<%dq" % len(items), *items))
+        if matrix is not None:
+            if tuple(matrix.shape) != (len(items), words):
+                raise ValueError(
+                    "matrix shape %r does not match universe/rows"
+                    % (tuple(matrix.shape),)
+                )
+            handle.write(
+                _np.ascontiguousarray(matrix, dtype="<u8").tobytes()
+            )
+        else:
+            num_bytes = words * 8
+            zero = b"\x00" * num_bytes
+            for item in items:
+                value = bitmaps.get(item, 0)
+                handle.write(value.to_bytes(num_bytes, "little") if value else zero)
+    os.replace(temp, path)
+    return path
+
+
+def snapshot_database(db, path: Optional[PathLike] = None) -> Path:
+    """Build and write the snapshot of any database exposing the db surface.
+
+    Works for :class:`~repro.db.transaction_db.TransactionDatabase` and
+    :class:`~repro.db.disk.DiskTransactionDatabase` alike: one (streaming)
+    pass builds the vertical bitmaps, then they are serialised.  Returns
+    the written path (default: the database file + ``.snap`` when the
+    database knows its file, else ``path`` is required).
+    """
+    if path is None:
+        source = getattr(db, "path", None)
+        if source is None:
+            raise ValueError("path is required for in-memory databases")
+        path = default_snapshot_path(source)
+    return write_snapshot(
+        path, db.universe, len(db), bitmaps=db.item_bitmaps()
+    )
+
+
+class Snapshot:
+    """A validated, lazily-materialised snapshot file.
+
+    Holds only the header metadata; the matrix is materialised on demand
+    either as a zero-copy :func:`numpy.memmap` view (:meth:`matrix`,
+    :meth:`packed_index`) or as pure-Python int bitmaps
+    (:meth:`int_bitmaps`) on interpreters without NumPy.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        version: int,
+        num_rows: int,
+        universe: Tuple[int, ...],
+        num_words: int,
+    ) -> None:
+        self.path = path
+        self.version = version
+        self.num_rows = num_rows
+        self.universe = universe
+        self.num_words = num_words
+
+    def __repr__(self) -> str:
+        return "Snapshot(%r, v%d, |D|=%d, |I|=%d)" % (
+            str(self.path), self.version, self.num_rows, len(self.universe),
+        )
+
+    @property
+    def num_items(self) -> int:
+        return len(self.universe)
+
+    @property
+    def matrix_offset(self) -> int:
+        """Byte offset of the bitmap matrix inside the file."""
+        return HEADER_SIZE + 8 * self.num_items
+
+    @property
+    def matrix_shape(self) -> Tuple[int, int]:
+        return (self.num_items, self.num_words)
+
+    def matrix(self, writable: bool = False):
+        """The bitmap matrix as a ``numpy.memmap`` view (zero-copy)."""
+        if _np is None:  # pragma: no cover - NumPy-less interpreters
+            raise RuntimeError("snapshot memory-mapping requires NumPy")
+        return _np.memmap(
+            self.path,
+            dtype="<u8",
+            mode="r+" if writable else "r",
+            offset=self.matrix_offset,
+            shape=self.matrix_shape,
+        )
+
+    def int_bitmaps(self) -> Dict[int, int]:
+        """item -> arbitrary-precision int bitmap (pure-Python read)."""
+        num_bytes = self.num_words * 8
+        bitmaps: Dict[int, int] = {}
+        with open(self.path, "rb") as handle:
+            handle.seek(self.matrix_offset)
+            for item in self.universe:
+                bitmaps[item] = int.from_bytes(handle.read(num_bytes), "little")
+        return bitmaps
+
+    def packed_index(self) -> "PackedBitmapIndex":
+        """A :class:`PackedBitmapIndex` over the memory-mapped matrix."""
+        rows = {item: row for row, item in enumerate(self.universe)}
+        return PackedBitmapIndex(self.matrix(), rows, self.num_rows)
+
+    def index(self, force_python: bool = False):
+        """The best available counting index backed by this snapshot."""
+        if HAVE_NUMPY and not force_python:
+            return self.packed_index()
+        return IntBitmapIndex(self.int_bitmaps(), self.num_rows)
+
+
+def load_snapshot(path: PathLike) -> Snapshot:
+    """Validate ``path`` and return its :class:`Snapshot` header view.
+
+    Raises :class:`SnapshotFormatError` on a bad magic, an unsupported
+    version, or a file whose size disagrees with its own header.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header = handle.read(HEADER_SIZE)
+        if len(header) < HEADER_SIZE:
+            raise SnapshotFormatError("%s: truncated snapshot header" % path)
+        magic, version, _, num_rows, num_items, num_words = _HEADER.unpack(
+            header
+        )
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotFormatError("%s: not a snapshot file" % path)
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotFormatError(
+                "%s: snapshot version %d (reader supports %d)"
+                % (path, version, SNAPSHOT_VERSION)
+            )
+        if num_words != _num_words(num_rows):
+            raise SnapshotFormatError(
+                "%s: num_words %d inconsistent with num_rows %d"
+                % (path, num_words, num_rows)
+            )
+        universe = struct.unpack(
+            "<%dq" % num_items, handle.read(8 * num_items)
+        )
+    expected = HEADER_SIZE + 8 * num_items + 8 * num_items * num_words
+    actual = os.path.getsize(path)
+    if actual != expected:
+        raise SnapshotFormatError(
+            "%s: file is %d bytes, header promises %d" % (path, actual, expected)
+        )
+    if any(a >= b for a, b in zip(universe, universe[1:])):
+        raise SnapshotFormatError("%s: universe is not strictly ascending" % path)
+    return Snapshot(path, version, num_rows, tuple(universe), num_words)

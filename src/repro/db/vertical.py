@@ -390,55 +390,120 @@ class PackedBitmapIndex:
         """Support counts parallel to ``candidates`` (batch, vectorized)."""
         total = len(candidates)
         results = _np.zeros(total, dtype=_np.int64)
-        # ragged candidate list -> flat item vector + offsets, so that the
-        # per-length groups below are sliced without any per-candidate
-        # Python work
-        lengths = _np.fromiter(map(len, candidates), dtype=_np.intp, count=total)
+        lengths, flat_rows = self.map_candidates(candidates)
+        self.counts_into(
+            lengths, flat_rows, results,
+            deadline_check=deadline_check, chunk_size=chunk_size,
+        )
+        return results.tolist()
+
+    @staticmethod
+    def flatten_candidates(candidates: Sequence[Itemset]):
+        """Ragged candidate list -> ``(lengths, flat item vector)``.
+
+        The flat encoding lets per-length groups be sliced without any
+        per-candidate Python work — and is exactly what crosses the
+        shared-memory plane (:mod:`repro.db.shm`) instead of pickles.
+        """
+        total = len(candidates)
+        lengths = _np.fromiter(
+            map(len, candidates), dtype=_np.int64, count=total
+        )
         flat = _np.fromiter(
             chain.from_iterable(candidates),
             dtype=_np.int64,
             count=int(lengths.sum()),
         )
-        offsets = _np.zeros(total, dtype=_np.intp)
-        _np.cumsum(lengths[:-1], out=offsets[1:])
-        results[lengths == 0] = self._num_rows  # () holds in every row
-        for length in _np.unique(lengths):
-            length = int(length)
-            if length == 0:
-                continue
-            positions = _np.nonzero(lengths == length)[0]
-            group = flat[offsets[positions][:, None] + _np.arange(length)]
-            rows = self._map_rows(group)
-            known = (rows >= 0).all(axis=1)
-            # candidates naming an item outside the universe keep count 0
-            if not known.all():
-                positions = positions[known]
-                rows = rows[known]
-            chunk = self._chunk_for(length, chunk_size)
-            for start in range(0, len(rows), chunk):
-                if deadline_check is not None:
-                    deadline_check()
-                block = rows[start : start + chunk]
-                results[positions[start : start + chunk]] = _popcount_words(
-                    self._intersect(block)
-                )
-        return results.tolist()
+        return lengths, flat
 
-    def _map_rows(self, group):
-        """(C, L) item ids -> (C, L) matrix rows, -1 for unknown items."""
+    def map_items(self, flat_items):
+        """Flat item ids -> flat matrix rows, -1 for unknown items."""
         table = self._row_table
         if table is not None:
             sentinel = table.shape[0] - 1
-            if group.size == 0 or (
-                int(group.min()) >= 0 and int(group.max()) < sentinel
+            if flat_items.size == 0 or (
+                int(flat_items.min()) >= 0 and int(flat_items.max()) < sentinel
             ):
-                return table[group]
-            in_range = (group >= 0) & (group < sentinel)
-            return table[_np.where(in_range, group, sentinel)]
+                return table[flat_items]
+            in_range = (flat_items >= 0) & (flat_items < sentinel)
+            return table[_np.where(in_range, flat_items, sentinel)]
         lookup = self._rows.get
-        return _np.array(
-            [[lookup(item, -1) for item in row] for row in group.tolist()],
+        return _np.fromiter(
+            (lookup(item, -1) for item in flat_items.tolist()),
             dtype=_np.intp,
+            count=len(flat_items),
+        )
+
+    def map_candidates(self, candidates: Sequence[Itemset]):
+        """Candidates -> ``(lengths, flat matrix-row vector)``.
+
+        This is the parent-side half of a shared-memory count: the row
+        mapping happens once, and workers consume raw row ids with no
+        item-table of their own.
+        """
+        lengths, flat_items = self.flatten_candidates(candidates)
+        return lengths, self.map_items(flat_items)
+
+    def counts_into(
+        self,
+        lengths,
+        flat_rows,
+        out,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        deadline_check: Optional[Callable[[], None]] = None,
+        chunk_size: Optional[int] = None,
+        offsets=None,
+    ) -> None:
+        """Count candidates ``[lo, hi)`` of a flat-encoded batch into ``out``.
+
+        ``lengths``/``flat_rows`` come from :meth:`map_candidates` (row id
+        -1 marks an out-of-universe item: the candidate counts 0); ``out``
+        is any integer array of at least ``len(lengths)`` — including a
+        worker's slice of a shared result block.  Only ``out[lo:hi]`` is
+        written, so concurrent workers with disjoint ranges never race.
+        """
+        total = len(lengths)
+        if hi is None:
+            hi = total
+        if offsets is None:
+            offsets = _np.zeros(total, dtype=_np.intp)
+            _np.cumsum(lengths[:-1], out=offsets[1:])
+        span_lengths = lengths[lo:hi]
+        span_offsets = offsets[lo:hi]
+        out[lo:hi][span_lengths == 0] = self._num_rows  # () holds everywhere
+        for length in _np.unique(span_lengths):
+            length = int(length)
+            if length == 0:
+                continue
+            positions = _np.nonzero(span_lengths == length)[0]
+            group = flat_rows[span_offsets[positions][:, None] + _np.arange(length)]
+            known = (group >= 0).all(axis=1)
+            # candidates naming an item outside the universe keep count 0
+            if not known.all():
+                out[lo + positions[~known]] = 0
+                positions = positions[known]
+                group = group[known]
+            chunk = self._chunk_for(length, chunk_size)
+            for start in range(0, len(group), chunk):
+                if deadline_check is not None:
+                    deadline_check()
+                block = group[start : start + chunk]
+                out[lo + positions[start : start + chunk]] = _popcount_words(
+                    self._intersect(block)
+                )
+
+    def word_slice(self, word_lo: int, word_hi: int) -> "PackedBitmapIndex":
+        """A zero-copy view of transactions ``[64*word_lo, 64*word_hi)``.
+
+        Row shards of the shared-memory plane are word-aligned so each
+        worker counts its transaction range by slicing matrix *columns* —
+        no data moves, and tail bits beyond ``num_rows`` stay zero.
+        """
+        rows_before = min(self._num_rows, word_lo * 64)
+        rows_in = max(0, min(self._num_rows, word_hi * 64) - rows_before)
+        return PackedBitmapIndex(
+            self._matrix[:, word_lo:word_hi], self._rows, rows_in
         )
 
     def _chunk_for(self, length: int, chunk_size: Optional[int]) -> int:

@@ -119,3 +119,48 @@ class TestFixedPolicies:
         policy = NeverMaintain()
         assert policy.abandoned
         assert not policy.keep_mfcs(0, 1, 0, 0)
+
+
+class TestPassRateEstimator:
+    def test_none_until_first_observation(self):
+        from repro.core.adaptive import PassRateEstimator
+
+        estimator = PassRateEstimator()
+        assert estimator.rate is None
+        assert estimator.observe(0, 1.0) is None     # nothing counted
+        assert estimator.observe(100, 0.0) is None   # clock too coarse
+
+    def test_first_observation_sets_rate_exactly(self):
+        from repro.core.adaptive import PassRateEstimator
+
+        estimator = PassRateEstimator()
+        assert estimator.observe(500, 0.5) == 1000.0
+
+    def test_ewma_smooths_subsequent_passes(self):
+        from repro.core.adaptive import PassRateEstimator
+
+        estimator = PassRateEstimator(alpha=0.5)
+        estimator.observe(1000, 1.0)   # 1000 c/s
+        assert estimator.observe(3000, 1.0) == 2000.0  # (1000+3000)/2
+
+    def test_alpha_validation(self):
+        from repro.core.adaptive import PassRateEstimator
+
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                PassRateEstimator(alpha=bad)
+
+    def test_miner_feeds_engine_note_pass_rate(self):
+        # the pincer miner times every engine.count and forwards the
+        # smoothed rate through SupportCounter.note_pass_rate
+        from repro.core.pincer import PincerSearch
+        from repro.db.counting import get_counter
+        from repro.db.transaction_db import TransactionDatabase
+
+        rates = []
+        engine = get_counter("bitmap")
+        engine.note_pass_rate = rates.append
+        db = TransactionDatabase([[1, 2, 3], [1, 2], [2, 3]] * 5)
+        PincerSearch().mine(db, 0.2, counter=engine)
+        assert rates
+        assert all(r is None or r > 0.0 for r in rates)

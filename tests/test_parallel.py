@@ -193,3 +193,163 @@ class TestShardResourceAttribution:
         sharded.close()
         assert sharded.last_shard_cpu_seconds == []
         assert sharded.last_shard_maxrss_kb == []
+
+
+class TestWorkerCapEnv:
+    def test_env_variable_caps_shards(self, monkeypatch):
+        from repro.db import parallel
+
+        rows = MIN_ROWS_PER_SHARD * 100
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        assert default_num_shards(rows) == 2
+        # the env cap is the operator's ceiling: it beats an explicit,
+        # larger max_workers too
+        assert default_num_shards(rows, max_workers=8) == 2
+
+    def test_env_variable_never_raises_the_count(self, monkeypatch):
+        rows = MIN_ROWS_PER_SHARD * 100
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "64")
+        assert default_num_shards(rows, max_workers=2) == 2
+
+    def test_garbage_env_value_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "plenty")
+        rows = MIN_ROWS_PER_SHARD * 4
+        assert default_num_shards(rows, max_workers=2) == 2
+
+
+class TestPipeChunking:
+    def test_oversized_batch_is_chunked_and_counts_survive(self):
+        from repro.db.parallel import PIPE_BATCH_LIMIT
+        from repro.obs.instrument import Instrumentation
+
+        candidates = [(item,) for item in range(PIPE_BATCH_LIMIT + 50)]
+        expected = get_counter("naive").count(GROUND_TRUTH_DB, candidates)
+        obs = Instrumentation()
+        with ShardedCounter(num_shards=2) as counter:
+            counter.obs = obs
+            assert counter.count(GROUND_TRUTH_DB, candidates) == expected
+            # rows are billed once per pass, not once per chunk
+            assert counter.records_read == len(GROUND_TRUTH_DB)
+        assert obs.metrics.to_dict()["counters"]["shard.batch_chunks"] == 2
+
+    def test_small_batch_is_one_chunk(self):
+        from repro.obs.instrument import Instrumentation
+
+        obs = Instrumentation()
+        with ShardedCounter(num_shards=2) as counter:
+            counter.obs = obs
+            counter.count(GROUND_TRUTH_DB, CANDIDATES)
+        assert obs.metrics.to_dict()["counters"]["shard.batch_chunks"] == 1
+
+
+class TestSpawnContextFallback:
+    def test_workers_start_under_spawn_context(self, monkeypatch):
+        # simulate a platform without fork: _spawn_workers must fall back
+        # to the default (spawn) context and still produce exact counts
+        import multiprocessing
+        from repro.db import parallel
+
+        spawn = multiprocessing.get_context("spawn")
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_context", lambda method=None: spawn
+        )
+        with ShardedCounter(num_shards=2) as counter:
+            assert counter.count(GROUND_TRUTH_DB, CANDIDATES) == EXPECTED
+            assert len(counter.worker_pids) == 2
+            assert len(counter.worker_startup_seconds) == 2
+
+    def test_spawn_failure_falls_back_to_serial_shards(self, monkeypatch):
+        from repro.db import parallel
+
+        class ExplodingContext:
+            @staticmethod
+            def Pipe():
+                raise OSError("simulated: cannot create worker pipes")
+
+        monkeypatch.setattr(
+            parallel.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        monkeypatch.setattr(
+            parallel.multiprocessing,
+            "get_context",
+            lambda method=None: ExplodingContext(),
+        )
+        with ShardedCounter(num_shards=2) as counter:
+            assert counter.count(GROUND_TRUTH_DB, CANDIDATES) == EXPECTED
+            assert counter.worker_pids == []  # serial shards served the pass
+
+    def test_worker_startup_seconds_reported(self):
+        with ShardedCounter(num_shards=2) as counter:
+            counter.count(GROUND_TRUTH_DB, CANDIDATES)
+            assert len(counter.worker_startup_seconds) == 2
+            assert all(s >= 0.0 for s in counter.worker_startup_seconds)
+
+
+class TestAdaptiveShardScheduler:
+    def _scheduler(self, workers=4, **kwargs):
+        from repro.db.parallel import AdaptiveShardScheduler
+
+        return AdaptiveShardScheduler(workers, **kwargs)
+
+    def test_few_candidates_force_row_mode(self):
+        scheduler = self._scheduler(workers=4)
+        mode, _ = scheduler.choose(3, num_rows=100_000)
+        assert mode == "rows"
+
+    def test_tiny_matrix_forces_candidate_mode(self):
+        # 100 rows = 2 words < 4 workers: row slices would idle workers
+        scheduler = self._scheduler(workers=4)
+        mode, _ = scheduler.choose(64, num_rows=100)
+        assert mode == "candidates"
+
+    def test_wide_unmeasured_batch_steals(self):
+        scheduler = self._scheduler(workers=2)
+        mode, chunk = scheduler.choose(10_000, num_rows=1_000_000)
+        assert mode == "candidates"
+        assert scheduler.MIN_CHUNK <= chunk <= scheduler.MAX_CHUNK
+
+    def test_fast_miner_rate_prefers_rows(self):
+        scheduler = self._scheduler(workers=2)
+        scheduler.note_miner_rate(1e9)  # pass would finish in microseconds
+        mode, _ = scheduler.choose(10_000, num_rows=1_000_000)
+        assert mode == "rows"
+
+    def test_measured_rates_win_with_hysteresis(self):
+        scheduler = self._scheduler(workers=2)
+        scheduler.observe("rows", 1000, 1.0)        # 1000 c/s
+        scheduler.observe("candidates", 1000, 0.5)  # 2000 c/s > 1.2x
+        mode, _ = scheduler.choose(1000, num_rows=1_000_000)
+        assert mode == "candidates"
+
+    def test_hysteresis_band_keeps_rows(self):
+        scheduler = self._scheduler(workers=2)
+        scheduler.observe("rows", 1000, 1.0)
+        scheduler.observe("candidates", 1100, 1.0)  # only 1.1x faster
+        mode, _ = scheduler.choose(1000, num_rows=1_000_000)
+        assert mode == "rows"
+
+    def test_fixed_chunk_override(self):
+        scheduler = self._scheduler(workers=2, chunk=17)
+        assert scheduler.chunk_for(100_000) == 17
+
+    def test_chunk_targets_four_per_worker(self):
+        scheduler = self._scheduler(workers=2)
+        assert scheduler.chunk_for(8 * 300) == 300
+
+    def test_decision_ledger(self):
+        scheduler = self._scheduler(workers=2)
+        scheduler.choose(1, num_rows=1_000_000)
+        scheduler.choose(10_000, num_rows=1_000_000)
+        assert scheduler.decisions == {"rows": 1, "candidates": 1}
+
+    def test_rejects_zero_workers(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            self._scheduler(workers=0)

@@ -1,0 +1,285 @@
+"""Tests for the zero-copy shared-memory counting plane (``repro.db.shm``)."""
+
+import gc
+import os
+import signal
+import time
+
+import pytest
+
+from repro.db.counting import get_counter
+from repro.db.transaction_db import TransactionDatabase
+from repro.db.vertical import HAVE_NUMPY
+
+shm_mod = pytest.importorskip("repro.db.shm")
+ShmShardedCounter = shm_mod.ShmShardedCounter
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="shm plane needs NumPy")
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+# enough rows that word-aligned slices are non-trivial (> 64 per worker)
+TRANSACTIONS = [[1, 2, 3], [1, 2], [2, 3], [3], [1], [2], [4, 5]] * 60
+DB = TransactionDatabase(TRANSACTIONS)
+CANDIDATES = [(), (1,), (2,), (3,), (1, 2), (2, 3), (1, 2, 3), (4, 5), (9,)]
+EXPECTED = get_counter("naive").count(DB, CANDIDATES)
+
+# a batch wide enough to force candidate (work-stealing) mode
+WIDE = [(i,) for i in range(1, 600)]
+WIDE_EXPECTED = get_counter("naive").count(DB, WIDE)
+
+
+def _segment_gone(name):
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+class TestEquivalence:
+    def test_counts_match_naive_on_shm_plane(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            assert counter.count(DB, CANDIDATES) == EXPECTED
+            assert counter.plane == "shm"
+
+    def test_wide_batch_uses_candidate_mode(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            assert counter.count(DB, WIDE) == WIDE_EXPECTED
+            assert counter.last_mode == "candidates"
+            assert counter.chunks_dispatched > 0
+
+    def test_narrow_batch_uses_row_mode(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            counter.count(DB, [(1,), (2,)])
+            assert counter.last_mode == "rows"
+
+    def test_capacity_growth_and_worker_reattach(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            counter.count(DB, CANDIDATES)
+            pids = list(counter.worker_pids)
+            # > INITIAL_BATCH_CAPACITY candidates forces a block regrow;
+            # workers must re-attach the renamed blocks transparently
+            big = [(i,) for i in range(shm_mod.INITIAL_BATCH_CAPACITY + 10)]
+            expected = get_counter("naive").count(DB, big)
+            assert counter.count(DB, big) == expected
+            assert counter.worker_pids == pids
+
+    def test_serial_fallback_still_counts(self):
+        with ShmShardedCounter(num_shards=2, use_processes=False) as counter:
+            assert counter.count(DB, CANDIDATES) == EXPECTED
+            assert counter.plane == "serial"
+
+    def test_registered_as_an_engine(self):
+        counter = get_counter("shm")
+        assert isinstance(counter, ShmShardedCounter)
+        counter.close()
+
+
+class TestAccounting:
+    def test_records_read_is_passes_times_rows(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            counter.count(DB, CANDIDATES)   # rows mode
+            counter.count(DB, WIDE)         # candidates mode
+            assert counter.passes == 2
+            assert counter.records_read == 2 * len(DB)
+
+    def test_accounting_matches_packed_engine(self):
+        packed = get_counter("packed")
+        with ShmShardedCounter(num_shards=2) as counter:
+            for engine in (packed, counter):
+                engine.count(DB, CANDIDATES)
+                engine.count(DB, WIDE)
+            assert counter.passes == packed.passes
+            assert counter.records_read == packed.records_read
+            assert counter.itemsets_counted == packed.itemsets_counted
+
+    def test_attach_and_startup_are_reported(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            counter.count(DB, CANDIDATES)
+            assert counter.last_attach_seconds > 0.0
+            assert len(counter.worker_startup_seconds) == 2
+            assert all(s >= 0.0 for s in counter.worker_startup_seconds)
+
+    def test_scheduler_metrics_are_emitted(self):
+        from repro.obs.instrument import Instrumentation
+
+        obs = Instrumentation()
+        with ShmShardedCounter(num_shards=2) as counter:
+            counter.obs = obs
+            counter.count(DB, WIDE)
+        document = obs.metrics.to_dict()
+        assert document["counters"]["scheduler.mode.candidates"] == 1
+        assert "shard.steals" in document["counters"]
+        assert "shard.attach_seconds" in document["gauges"]
+
+
+class TestCleanup:
+    def test_close_unlinks_every_segment(self):
+        counter = ShmShardedCounter(num_shards=2)
+        counter.count(DB, CANDIDATES)
+        names = [segment.name for segment in counter._plane.owned]
+        assert names
+        counter.close()
+        assert all(_segment_gone(name) for name in names)
+        assert counter.plane == "unattached"
+
+    def test_garbage_collection_unlinks_segments(self):
+        # losing every reference without close() must not leak /dev/shm:
+        # the weakref.finalize backstop unlinks the owned blocks
+        counter = ShmShardedCounter(num_shards=2)
+        counter.count(DB, CANDIDATES)
+        names = [segment.name for segment in counter._plane.owned]
+        del counter
+        gc.collect()
+        assert all(_segment_gone(name) for name in names)
+
+    def test_worker_crash_mid_pass_raises_and_cleans_up(self):
+        counter = ShmShardedCounter(num_shards=2)
+        counter.count(DB, CANDIDATES)
+        names = [segment.name for segment in counter._plane.owned]
+        victim = counter.worker_pids[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.time() + 5.0
+        while time.time() < deadline:  # wait for the pipe to break
+            try:
+                os.kill(victim, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.01)
+        with pytest.raises(RuntimeError, match="died mid-pass"):
+            counter.count(DB, CANDIDATES)
+        assert counter.worker_pids == []
+        assert all(_segment_gone(name) for name in names)
+        # the engine recovers by re-attaching on the next count
+        assert counter.count(DB, CANDIDATES) == EXPECTED
+        counter.close()
+
+    def test_close_is_idempotent_and_reattaches(self):
+        counter = ShmShardedCounter(num_shards=2)
+        counter.count(DB, CANDIDATES)
+        counter.close()
+        counter.close()
+        assert counter.count(DB, CANDIDATES) == EXPECTED
+        counter.close()
+
+
+class TestFallbackLadder:
+    def test_mmap_rung_when_shared_memory_unavailable(self, monkeypatch):
+        real = shm_mod._shared_memory
+
+        class Shim:
+            @staticmethod
+            def SharedMemory(*args, **kwargs):
+                if kwargs.get("create"):
+                    raise OSError("simulated: /dev/shm unavailable")
+                return real.SharedMemory(*args, **kwargs)
+
+        monkeypatch.setattr(shm_mod, "_shared_memory", Shim)
+        with ShmShardedCounter(num_shards=2) as counter:
+            assert counter.count(DB, CANDIDATES) == EXPECTED
+            assert counter.plane == "mmap"
+            assert counter.count(DB, WIDE) == WIDE_EXPECTED
+
+    def test_mmap_rung_leaves_no_temp_files(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        import tempfile
+
+        tempfile.tempdir = None  # re-read TMPDIR
+        try:
+            real = shm_mod._shared_memory
+
+            class Shim:
+                @staticmethod
+                def SharedMemory(*args, **kwargs):
+                    raise OSError("simulated")
+
+            monkeypatch.setattr(shm_mod, "_shared_memory", Shim)
+            counter = ShmShardedCounter(num_shards=2)
+            assert counter.count(DB, CANDIDATES) == EXPECTED
+            counter.close()
+            assert [p for p in os.listdir(tmp_path) if "pincer-shm" in p] == []
+        finally:
+            tempfile.tempdir = None
+
+    def test_pipe_rung_when_worker_spawn_fails(self, monkeypatch):
+        # every shared-memory spawn failing must fall through to the
+        # inherited fork/pipe plane, not error out
+        monkeypatch.setattr(
+            ShmShardedCounter,
+            "_spawn_shm_workers",
+            lambda self, *args, **kwargs: False,
+        )
+        with ShmShardedCounter(num_shards=2) as counter:
+            assert counter.count(DB, CANDIDATES) == EXPECTED
+            assert counter.plane == "pipe"
+
+    def test_full_ladder_agrees_on_supports(self, monkeypatch):
+        results = {}
+        with ShmShardedCounter(num_shards=2) as counter:
+            results["shm"] = counter.count(DB, WIDE)
+        real = shm_mod._shared_memory
+
+        class Shim:
+            @staticmethod
+            def SharedMemory(*args, **kwargs):
+                raise OSError("simulated")
+
+        monkeypatch.setattr(shm_mod, "_shared_memory", Shim)
+        with ShmShardedCounter(num_shards=2) as counter:
+            results["mmap"] = counter.count(DB, WIDE)
+        monkeypatch.setattr(shm_mod, "_shared_memory", real)
+        with ShmShardedCounter(num_shards=2, use_processes=False) as counter:
+            results["serial"] = counter.count(DB, WIDE)
+        assert results["shm"] == results["mmap"] == results["serial"]
+
+
+class TestSchedulerPlumbing:
+    def test_note_pass_rate_reaches_the_scheduler(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            counter.count(DB, CANDIDATES)
+            counter.note_pass_rate(1e9)
+            assert counter._scheduler._miner_rate == 1e9
+
+    def test_fast_miner_rate_keeps_row_mode(self):
+        with ShmShardedCounter(num_shards=2) as counter:
+            counter.count(DB, CANDIDATES)
+            # predicted pass time ~ 600/1e9 s, far under MIN_STEAL_SECONDS
+            counter.note_pass_rate(1e9)
+            counter.count(DB, WIDE)
+            assert counter.last_mode == "rows"
+
+    def test_steal_chunk_override(self):
+        with ShmShardedCounter(num_shards=2, steal_chunk=10) as counter:
+            counter.count(DB, WIDE)
+            assert counter.last_mode == "candidates"
+            assert counter.chunks_dispatched == -(-len(WIDE) // 10)
+
+
+class TestPincerIntegration:
+    def test_mfs_identical_to_serial_engine(self):
+        from repro.core.pincer import PincerSearch
+
+        serial = PincerSearch(engine="packed").mine(DB, 0.05)
+        with ShmShardedCounter(num_shards=2) as counter:
+            shm = PincerSearch(engine="shm").mine(DB, 0.05, counter=counter)
+        assert serial.mfs == shm.mfs
+        assert serial.supports == shm.supports
+
+    def test_miner_closes_engines_it_creates(self, monkeypatch):
+        from repro.core.pincer import PincerSearch
+
+        closed = []
+        original = ShmShardedCounter.close
+
+        def tracking_close(self):
+            closed.append(True)
+            original(self)
+
+        monkeypatch.setattr(ShmShardedCounter, "close", tracking_close)
+        PincerSearch(engine="shm").mine(DB, 0.05)
+        assert closed

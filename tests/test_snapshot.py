@@ -1,0 +1,164 @@
+"""Tests for the versioned on-disk snapshot format (``repro.db.snapshot``)."""
+
+import os
+import struct
+
+import pytest
+
+from repro.db.counting import get_counter
+from repro.db.disk import DiskTransactionDatabase
+from repro.db.snapshot import (
+    HEADER_SIZE,
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotFormatError,
+    default_snapshot_path,
+    load_snapshot,
+    snapshot_database,
+    write_snapshot,
+)
+from repro.db.transaction_db import TransactionDatabase
+from repro.db.vertical import HAVE_NUMPY, PackedBitmapIndex
+
+TRANSACTIONS = [[1, 2, 3], [1, 2], [2, 3], [3], [1], [2], [5, 7]] * 11
+DB = TransactionDatabase(TRANSACTIONS)
+CANDIDATES = [(), (1,), (2,), (1, 2), (2, 3), (1, 2, 3), (5, 7), (9,)]
+EXPECTED = get_counter("naive").count(DB, CANDIDATES)
+
+
+@pytest.fixture
+def snap_path(tmp_path):
+    return snapshot_database(DB, tmp_path / "db.snap")
+
+
+class TestRoundTrip:
+    def test_header_metadata_survives(self, snap_path):
+        snap = load_snapshot(snap_path)
+        assert snap.version == SNAPSHOT_VERSION
+        assert snap.num_rows == len(DB)
+        assert snap.universe == tuple(DB.universe)
+        assert snap.num_words == max(1, (len(DB) + 63) // 64)
+
+    def test_int_bitmaps_identical_to_database(self, snap_path):
+        assert load_snapshot(snap_path).int_bitmaps() == DB.item_bitmaps()
+
+    def test_index_counts_match_naive(self, snap_path):
+        index = load_snapshot(snap_path).index()
+        got = dict(zip(CANDIDATES, index.counts(CANDIDATES)))
+        assert got == EXPECTED
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs NumPy")
+    def test_matrix_write_path_is_byte_identical(self, snap_path, tmp_path):
+        # writing from the packed matrix and from int bitmaps must
+        # produce the same file: the format has one canonical encoding
+        index = PackedBitmapIndex.from_database(DB)
+        other = write_snapshot(
+            tmp_path / "matrix.snap", DB.universe, len(DB), matrix=index._matrix
+        )
+        assert other.read_bytes() == snap_path.read_bytes()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs NumPy")
+    def test_packed_index_is_zero_copy_view(self, snap_path):
+        snap = load_snapshot(snap_path)
+        index = snap.packed_index()
+        assert index.num_rows == len(DB)
+        got = dict(zip(CANDIDATES, index.counts(CANDIDATES)))
+        assert got == EXPECTED
+
+    def test_default_path_appends_suffix(self):
+        assert default_snapshot_path("data/t10.dat").name == "t10.dat.snap"
+
+    def test_in_memory_database_requires_explicit_path(self):
+        with pytest.raises(ValueError):
+            snapshot_database(DB)
+
+    def test_write_rejects_ambiguous_sources(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_snapshot(tmp_path / "x.snap", [1], 1)
+
+
+class TestFormatValidation:
+    def _corrupt(self, path, offset, payload):
+        data = bytearray(path.read_bytes())
+        data[offset : offset + len(payload)] = payload
+        path.write_bytes(bytes(data))
+
+    def test_bad_magic_rejected(self, snap_path):
+        self._corrupt(snap_path, 0, b"NOTASNAP")
+        with pytest.raises(SnapshotFormatError, match="not a snapshot"):
+            load_snapshot(snap_path)
+
+    def test_future_version_rejected(self, snap_path):
+        self._corrupt(snap_path, 8, struct.pack("<I", SNAPSHOT_VERSION + 1))
+        with pytest.raises(SnapshotFormatError, match="version"):
+            load_snapshot(snap_path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        stub = tmp_path / "stub.snap"
+        stub.write_bytes(SNAPSHOT_MAGIC + b"\x01")
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            load_snapshot(stub)
+
+    def test_truncated_body_rejected(self, snap_path):
+        data = snap_path.read_bytes()
+        snap_path.write_bytes(data[:-8])
+        with pytest.raises(SnapshotFormatError, match="bytes"):
+            load_snapshot(snap_path)
+
+    def test_inconsistent_word_count_rejected(self, snap_path):
+        self._corrupt(snap_path, 32, struct.pack("<Q", 99))
+        with pytest.raises(SnapshotFormatError, match="num_words"):
+            load_snapshot(snap_path)
+
+    def test_unsorted_universe_rejected(self, tmp_path):
+        path = write_snapshot(tmp_path / "u.snap", [1, 2], 1, bitmaps={1: 1, 2: 1})
+        # swap the two universe entries in place
+        self._corrupt(path, HEADER_SIZE, struct.pack("<2q", 2, 1))
+        with pytest.raises(SnapshotFormatError, match="ascending"):
+            load_snapshot(path)
+
+    def test_header_size_is_stable(self):
+        # the 40-byte header keeps both arrays 8-byte aligned; changing
+        # it is a format break and needs a version bump
+        assert HEADER_SIZE == 40
+
+
+class TestDiskIntegration:
+    @pytest.fixture
+    def basket(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text(
+            "\n".join(" ".join(str(i) for i in sorted(t)) for t in TRANSACTIONS)
+        )
+        return path
+
+    def test_snapshot_backs_the_instance(self, basket):
+        db = DiskTransactionDatabase(basket)
+        written = db.snapshot()
+        assert written == default_snapshot_path(basket)
+        reads_before = db.file_reads
+        assert db.item_bitmaps() == DB.item_bitmaps()
+        # bitmaps came from the snapshot, not another basket parse
+        assert db.file_reads == reads_before
+
+    def test_from_snapshot_skips_the_basket_parse(self, basket):
+        DiskTransactionDatabase(basket).snapshot()
+        db = DiskTransactionDatabase.from_snapshot(
+            default_snapshot_path(basket)
+        )
+        assert db.file_reads == 0
+        assert len(db) == len(DB)
+        assert tuple(db.universe) == tuple(DB.universe)
+        assert db.item_bitmaps() == DB.item_bitmaps()
+        assert db.file_reads == 0  # still no basket I/O
+
+    def test_from_snapshot_requires_inferable_basket(self, tmp_path):
+        path = snapshot_database(DB, tmp_path / "odd-name.bin")
+        with pytest.raises(ValueError):
+            DiskTransactionDatabase.from_snapshot(path)
+
+    def test_write_is_atomic(self, basket, tmp_path):
+        # no .tmp droppings after a successful write
+        DiskTransactionDatabase(basket).snapshot()
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp." in p]
+        assert leftovers == []
