@@ -28,8 +28,7 @@ from ..core.stats import MiningStats
 from ..db.counting import (
     CountingDeadline,
     SupportCounter,
-    get_counter,
-    select_engine,
+    resolve_counter,
 )
 from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
@@ -69,17 +68,17 @@ class Apriori:
         :class:`~repro.core.result.MiningTimeout` instead of thrashing.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = (
-            counter
-            if counter is not None
-            else get_counter(select_engine(db, self._engine))
-        )
+        engine, decision = resolve_counter(db, self._engine, counter)
         obs = obs if obs is not None else NOOP
         engine.obs = obs
         lattice = make_kernel(self._kernel, db.universe)
         started = time.perf_counter()
 
-        stats = MiningStats(algorithm=self.name)
+        stats = MiningStats(
+            algorithm=self.name,
+            engine=decision.engine,
+            engine_evidence=decision.evidence,
+        )
         supports: Dict[Itemset, int] = {}
         all_frequents: Set[Itemset] = set()
         candidates: List[Itemset] = first_level_candidates(db.universe)

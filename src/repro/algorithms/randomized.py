@@ -25,7 +25,7 @@ from ..core.itemset import Itemset
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
-from ..db.counting import SupportCounter, get_counter, select_engine
+from ..db.counting import SupportCounter, resolve_counter
 from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
 
@@ -64,16 +64,16 @@ class RandomizedMFS:
         frequent); completeness holds only in the limit of restarts.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = (
-            counter
-            if counter is not None
-            else get_counter(select_engine(db, self._engine))
-        )
+        engine, decision = resolve_counter(db, self._engine, counter)
         obs = obs if obs is not None else NOOP
         engine.obs = obs
         rng = random.Random(self._seed)
         started = time.perf_counter()
-        stats = MiningStats(algorithm=self.name)
+        stats = MiningStats(
+            algorithm=self.name,
+            engine=decision.engine,
+            engine_evidence=decision.evidence,
+        )
 
         run_span = obs.span(
             "run",

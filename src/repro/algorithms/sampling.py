@@ -34,7 +34,7 @@ from ..core.lattice import maximal_elements
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
-from ..db.counting import SupportCounter, get_counter, select_engine
+from ..db.counting import SupportCounter, get_counter, resolve_counter, select_engine
 from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
 from ..obs.logsetup import get_logger
@@ -87,15 +87,15 @@ class SamplingMiner:
     ) -> MiningResult:
         """Mine the maximum frequent set via a sample plus verification."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = (
-            counter
-            if counter is not None
-            else get_counter(select_engine(db, self._engine))
-        )
+        engine, decision = resolve_counter(db, self._engine, counter)
         obs = obs if obs is not None else NOOP
         engine.obs = obs
         started = time.perf_counter()
-        stats = MiningStats(algorithm=self.name)
+        stats = MiningStats(
+            algorithm=self.name,
+            engine=decision.engine,
+            engine_evidence=decision.evidence,
+        )
 
         run_span = obs.span(
             "run",

@@ -27,7 +27,7 @@ from ..core.kernel import make_kernel
 from ..core.pincer import resolve_threshold
 from ..core.result import MiningResult
 from ..core.stats import MiningStats
-from ..db.counting import SupportCounter, get_counter, select_engine
+from ..db.counting import SupportCounter, resolve_counter
 from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
 
@@ -63,16 +63,16 @@ class TopDown:
     ) -> MiningResult:
         """Discover the maximum frequent set top-down."""
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = (
-            counter
-            if counter is not None
-            else get_counter(select_engine(db, self._engine))
-        )
+        engine, decision = resolve_counter(db, self._engine, counter)
         obs = obs if obs is not None else NOOP
         engine.obs = obs
         started = time.perf_counter()
 
-        stats = MiningStats(algorithm=self.name)
+        stats = MiningStats(
+            algorithm=self.name,
+            engine=decision.engine,
+            engine_evidence=decision.evidence,
+        )
         supports: Dict[Itemset, int] = {}
         mfs: set = set()
         lattice = make_kernel(self._kernel, db.universe)

@@ -16,6 +16,14 @@ The JSON carries the benchmark cell (T10.I4.D100K at 1.5% by default),
 the host's core count (the ``sharded`` speedup only materialises with
 multiple cores), and the headline ratios ``speedup_packed_vs_bitmap`` and
 ``speedup_sharded_vs_packed``.
+
+``--density-sweep`` instead runs the compressed-tier cells — a sparse
+Zipf long-tail basket set and a dense Quest workload — reporting
+``speedup_roaring_vs_packed`` per cell plus the roaring engine's tier,
+container mix, and compression ratio::
+
+    python -m repro.bench.engines --density-sweep \
+        --out benchmarks/BENCH_density.json
 """
 
 from __future__ import annotations
@@ -28,9 +36,11 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ..core.pincer import PincerSearch
+from ..datagen import generate, parse_name, zipf_baskets
 from ..db.base import SupportCounter
-from ..db.counting import available_engines, get_counter
+from ..db.counting import available_engines, engine_decision, get_counter
 from ..db.parallel import ShardedCounter
+from ..db.roaring import RoaringIndex
 from ..db.shm import ShmShardedCounter
 from ..db.transaction_db import TransactionDatabase
 from ..db.vertical import HAVE_NUMPY
@@ -42,6 +52,7 @@ __all__ = [
     "measure_worker_startup",
     "record_batches",
     "run_counting_benchmark",
+    "run_density_sweep",
     "time_engine",
     "write_counting_benchmark",
 ]
@@ -64,8 +75,15 @@ class RecordingCounter(SupportCounter):
 def record_batches(
     db: TransactionDatabase, min_support_percent: float
 ) -> List[List]:
-    """The candidate batches (one per pass) of a Pincer-Search run."""
-    recorder = RecordingCounter(get_counter("bitmap"))
+    """The candidate batches (one per pass) of a Pincer-Search run.
+
+    The batches are a property of the mining trajectory, not of the
+    engine serving it (the engines are proven count-identical), so the
+    recording run rides the fastest single-process engine available.
+    """
+    recorder = RecordingCounter(
+        get_counter("packed" if HAVE_NUMPY else "bitmap")
+    )
     PincerSearch(adaptive=True).mine(
         db, min_support_percent / 100.0, counter=recorder
     )
@@ -187,6 +205,109 @@ def run_counting_benchmark(
     return record
 
 
+#: Transactions in the sparse density-sweep cell.  The compressed tier's
+#: per-candidate cost is near-constant while packed's grows with the row
+#: dimension, so the sweep sits where the crossover is decisive.
+SPARSE_SWEEP_ROWS = 1000000
+
+#: The dense density-sweep cell: a concentrated Quest workload over a
+#: 60-item universe (mean column density ~0.17, above the roaring
+#: engine's DENSE_CUTOFF), where the ladder must step down to ``packed``.
+DENSE_SWEEP_NAME = "T10.I4.D20K"
+
+
+def _density_cells(scale: Optional[int] = None):
+    """Yield ``(database_name, db, min_support_percent)`` sweep cells."""
+    sparse = zipf_baskets(
+        num_transactions=scale or SPARSE_SWEEP_ROWS,
+        num_items=2000,
+        skew=1.5,
+        avg_basket_size=10,
+        seed=17,
+    )
+    yield "ZIPF.T10.N2000.S1.5", sparse, 0.5
+    dense_config = parse_name(
+        DENSE_SWEEP_NAME, num_patterns=50, num_items=60, seed=7
+    )
+    yield DENSE_SWEEP_NAME + ".N60", generate(dense_config), 5.0
+
+
+def run_density_sweep(
+    engines: Sequence[str] = ("packed", "roaring"),
+    repeats: int = 3,
+    scale: Optional[int] = None,
+) -> List[Dict]:
+    """Benchmark the compressed tier across the density axis.
+
+    Returns one counting-benchmark-shaped record per cell (so each cell
+    keys its own trajectory baseline): a sparse Zipf long-tail cell where
+    the roaring containers should win outright, and a dense Quest cell
+    where the fallback ladder resolves to ``packed`` and the compressed
+    facade must stay within noise of it.  Every engine is verified
+    count-identical on every cell before it is timed.
+    """
+    cells: List[Dict] = []
+    for database, db, pct in _density_cells(scale):
+        batches = record_batches(db, pct)
+        decision = engine_decision(db)
+        measured: Dict[str, Dict] = {}
+        reference: Optional[List[Dict]] = None
+        for name in engines:
+            counter = get_counter(name)
+            per_batch = [dict(counter.count(db, batch)) for batch in batches]
+            if reference is None:
+                reference = per_batch
+            elif per_batch != reference:
+                raise AssertionError(
+                    "engine %r disagrees with %r on %s"
+                    % (name, engines[0], database)
+                )
+            seconds = time_engine(db, batches, counter, repeats)
+            entry: Dict = {
+                "seconds": round(seconds, 6),
+                "passes": len(batches),
+                "itemsets_counted": counter.itemsets_counted,
+            }
+            tier = getattr(counter, "tier", None)
+            if tier is not None:
+                entry["tier"] = tier
+                entry["density"] = round(counter.density, 6)
+                index = counter._index
+                if isinstance(index, RoaringIndex):
+                    entry["containers"] = index.container_counts()
+                    compressed = index.compressed_bytes()
+                    dense_bytes = index.dense_bytes()
+                    entry["compressed_bytes"] = compressed
+                    entry["dense_bytes"] = dense_bytes
+                    if compressed:
+                        entry["compression_ratio"] = round(
+                            dense_bytes / compressed, 3
+                        )
+            measured[name] = entry
+        record: Dict = {
+            "benchmark": "density-sweep",
+            "database": database,
+            "min_support_percent": pct,
+            "num_transactions": len(db),
+            "passes": len(batches),
+            "candidates_total": sum(len(batch) for batch in batches),
+            "cpu_count": os.cpu_count() or 1,
+            "numpy": HAVE_NUMPY,
+            "repeats": repeats,
+            "engine_decision": {
+                "engine": decision.engine,
+                "evidence": decision.evidence,
+            },
+            "engines": measured,
+        }
+        packed = measured.get("packed", {}).get("seconds")
+        roaring = measured.get("roaring", {}).get("seconds")
+        if packed and roaring:
+            record["speedup_roaring_vs_packed"] = round(packed / roaring, 3)
+        cells.append(record)
+    return cells
+
+
 def measure_worker_startup(db: TransactionDatabase, workers: int = 2) -> Dict:
     """Per-worker startup cost: pipe-plane index build vs shm attach.
 
@@ -255,7 +376,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append this run to the bench trajectory JSONL "
         "(gate it with python -m repro.bench.regress)",
     )
+    parser.add_argument(
+        "--density-sweep", action="store_true",
+        help="run the sparse/dense density-sweep cells (roaring vs "
+        "packed) instead of the single counting cell",
+    )
     args = parser.parse_args(argv)
+    if args.density_sweep:
+        cells = run_density_sweep(
+            engines=tuple(args.engine) if args.engine else ("packed", "roaring"),
+            repeats=args.repeats,
+            scale=args.scale,
+        )
+        document = {"benchmark": "density-sweep", "cells": cells}
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        if args.out:
+            write_counting_benchmark(args.out, document)
+        for cell in cells:
+            record_run(cell, args.trajectory)
+        return 0
     record = run_counting_benchmark(
         database=args.database,
         min_support_percent=args.min_support,

@@ -103,8 +103,9 @@ def _add_mine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine", default="auto",
         choices=("auto",) + tuple(available_engines()),
-        help="support-counting engine (auto: packed when NumPy is "
-        "available and the database is large, else bitmap)",
+        help="support-counting engine (auto resolves from measured "
+        "density: roaring for large sparse databases, packed for large "
+        "dense ones when NumPy is available, else bitmap)",
     )
     parser.add_argument(
         "--kernel", default="auto",

@@ -13,6 +13,7 @@ from .candidates import (
 from .cover import CoverIndex, MaskCover
 from .itemset import EMPTY, Itemset, itemset
 from .kernel import BitmaskKernel, LatticeKernel, TupleKernel, make_kernel
+from .maskstore import CompressedMaskStore
 from .mfcs import MFCS
 from .settrie import SetTrie
 from .pincer import PincerSearch, pincer_search, resolve_threshold
@@ -26,6 +27,7 @@ __all__ = [
     "AdaptivePolicy",
     "AlwaysMaintain",
     "BitmaskKernel",
+    "CompressedMaskStore",
     "CoverIndex",
     "InconsistentInstance",
     "ItemUniverse",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from .itemset import Itemset
+from .maskstore import CompressedMaskStore
 
 
 class CoverIndex:
@@ -183,11 +184,21 @@ class MaskCover:
     observability layer reports as ``mfcs.cover_*``.
     """
 
-    def __init__(self, universe, members: Iterable[Itemset] = ()) -> None:
+    def __init__(
+        self,
+        universe,
+        members: Iterable[Itemset] = (),
+        compressed: bool = False,
+    ) -> None:
         self._universe = universe
         self._table: List[int] = [0] * len(universe)
         self._masks: List[int] = []  # slot -> current (or stale) mask
-        self._slot_of: Dict[int, int] = {}  # member mask -> slot
+        # member mask -> slot; ``compressed`` swaps the dict for the
+        # sorted-mask delta store (same mapping subset, ~bytes per member
+        # instead of a hash-table entry — see :mod:`repro.core.maskstore`)
+        self._slot_of = (
+            CompressedMaskStore() if compressed else {}
+        )  # type: ignore[assignment]
         self._alive = 0
         self._free_slots: List[int] = []
         self._foreign: Optional[CoverIndex] = None  # out-of-universe members

@@ -61,11 +61,13 @@ from .mfcs import MFCS
 
 __all__ = [
     "BitmaskKernel",
+    "COMPRESSED_FAMILY_ENV_VAR",
     "DEFAULT_KERNEL",
     "KERNEL_ENV_VAR",
     "KERNEL_NAMES",
     "LatticeKernel",
     "TupleKernel",
+    "compressed_family_enabled",
     "make_kernel",
     "resolve_kernel_name",
 ]
@@ -73,6 +75,19 @@ __all__ = [
 KERNEL_NAMES = ("tuple", "bitmask")
 DEFAULT_KERNEL = "bitmask"
 KERNEL_ENV_VAR = "REPRO_LATTICE_KERNEL"
+
+#: When set (to anything but ""/"0"/"false"/"no"/"off"), the bitmask
+#: kernel's MFS/MFCS families store member masks in the sorted-delta
+#: compressed store (:mod:`repro.core.maskstore`) instead of a dict —
+#: same answers, ~bytes per member instead of a hash-table entry, for
+#: runs whose frontier families outgrow memory.
+COMPRESSED_FAMILY_ENV_VAR = "REPRO_COMPRESSED_FAMILY"
+
+
+def compressed_family_enabled() -> bool:
+    """Does the environment ask for compressed family storage?"""
+    value = os.environ.get(COMPRESSED_FAMILY_ENV_VAR, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
 
 
 class LatticeKernel:
@@ -179,7 +194,9 @@ class BitmaskKernel(LatticeKernel):
         )
 
     def make_cover(self, members: Iterable[Itemset] = ()) -> MaskCover:
-        return MaskCover(self.universe, members)
+        return MaskCover(
+            self.universe, members, compressed=compressed_family_enabled()
+        )
 
     def make_mfcs(self, universe: Iterable[int]) -> MFCS:
         return MFCS.for_universe(universe, kernel=self)

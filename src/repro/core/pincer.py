@@ -40,7 +40,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..db.counting import SupportCounter, get_counter, select_engine
+from ..db.counting import SupportCounter, resolve_counter
 from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
 from ..obs.logsetup import get_logger
@@ -147,11 +147,7 @@ class PincerSearch:
         for the run; the default no-op instrumentation costs nothing.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
-        engine = (
-            counter
-            if counter is not None
-            else get_counter(select_engine(db, self._engine))
-        )
+        engine, decision = resolve_counter(db, self._engine, counter)
         obs = obs if obs is not None else NOOP
         engine.obs = obs
         progress = obs.progress
@@ -166,7 +162,11 @@ class PincerSearch:
         rate_estimator = PassRateEstimator()
         started = time.perf_counter()
 
-        stats = MiningStats(algorithm=self.name)
+        stats = MiningStats(
+            algorithm=self.name,
+            engine=decision.engine,
+            engine_evidence=decision.evidence,
+        )
         supports: Dict[Itemset, int] = {}
         mfs: Set[Itemset] = set()
         mfs_cover = lattice.make_cover()

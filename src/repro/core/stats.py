@@ -75,6 +75,12 @@ class MiningStats:
     passes: List[PassStats] = field(default_factory=list)
     seconds: float = 0.0
     records_read: int = 0
+    #: resolved counting engine name ("" when unknown / caller-supplied)
+    engine: str = ""
+    #: why that engine was picked: the measured density evidence from
+    #: :func:`repro.db.counting.engine_decision` (rows / items / nnz /
+    #: density / reason), JSON-ready
+    engine_evidence: Dict[str, Any] = field(default_factory=dict)
 
     def new_pass(self, pass_number: int) -> PassStats:
         """Open stats for the next pass and return them for filling in."""
@@ -124,6 +130,8 @@ class MiningStats:
             "algorithm": self.algorithm,
             "seconds": self.seconds,
             "records_read": self.records_read,
+            "engine": self.engine,
+            "engine_evidence": dict(self.engine_evidence),
             "num_passes": self.num_passes,
             "total_candidates": self.total_candidates,
             "candidates_after_pass2": self.candidates_after_pass2,
@@ -143,6 +151,8 @@ class MiningStats:
             algorithm=data.get("algorithm", ""),
             seconds=data.get("seconds", 0.0),
             records_read=data.get("records_read", 0),
+            engine=data.get("engine", ""),
+            engine_evidence=dict(data.get("engine_evidence", {})),
             passes=[
                 PassStats.from_dict(entry) for entry in data.get("passes", [])
             ],

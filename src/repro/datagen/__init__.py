@@ -9,6 +9,7 @@ from .configs import (
     scaled,
 )
 from .quest import Pattern, QuestConfig, QuestGenerator, generate
+from .scenarios import zipf_baskets
 
 __all__ = [
     "CONCENTRATED",
@@ -21,4 +22,5 @@ __all__ = [
     "generate",
     "parse_name",
     "scaled",
+    "zipf_baskets",
 ]

@@ -2,6 +2,7 @@
 
 from .counting import (
     BitmapCounter,
+    EngineDecision,
     HashTreeCounter,
     NaiveCounter,
     PackedCounter,
@@ -12,6 +13,7 @@ from .counting import (
     available_engines,
     count_pairs,
     count_singletons,
+    engine_decision,
     get_counter,
     select_engine,
 )
@@ -26,6 +28,7 @@ from .snapshot import (
 )
 from .hash_tree import HashTree
 from .io import load, load_basket, load_csv, load_json, save, save_basket, save_csv, save_json
+from .roaring import ChunkedIntIndex, RoaringCounter, RoaringIndex, measure_density
 from .transaction_db import TransactionDatabase
 from .trie import CandidateTrie
 from .vertical import (
@@ -38,7 +41,9 @@ from .vertical import (
 __all__ = [
     "BitmapCounter",
     "CandidateTrie",
+    "ChunkedIntIndex",
     "DiskTransactionDatabase",
+    "EngineDecision",
     "HAVE_NUMPY",
     "HashTree",
     "HashTreeCounter",
@@ -47,6 +52,8 @@ __all__ = [
     "PackedBitmapIndex",
     "PackedCounter",
     "PrefixIntersector",
+    "RoaringCounter",
+    "RoaringIndex",
     "ShardedCounter",
     "ShmShardedCounter",
     "Snapshot",
@@ -61,7 +68,9 @@ __all__ = [
     "write_snapshot",
     "count_pairs",
     "count_singletons",
+    "engine_decision",
     "get_counter",
+    "measure_density",
     "select_engine",
     "load",
     "load_basket",

@@ -32,6 +32,13 @@ Engines provided:
     (:mod:`repro.db.vertical`).  Falls back to pure Python when NumPy is
     absent.  The fastest engine, and what ``auto`` resolves to on large
     databases when NumPy is installed.
+``roaring``
+    The compressed tier (:mod:`repro.db.roaring`): per-item hybrid
+    containers (sorted-array / packed-bitmap / run) in 2^16-row chunks,
+    with container-level fused intersect+popcount that skips absent
+    chunks.  Wins on sparse skewed data; resolves itself down the
+    roaring → packed → bitmap → python ladder when the data is dense or
+    NumPy is missing, always byte-identically.
 ``sharded``
     Row shards counted in parallel worker processes and summed
     (:mod:`repro.db.parallel`); each worker holds a persistent
@@ -54,13 +61,15 @@ from __future__ import annotations
 import operator
 import weakref
 from collections import defaultdict
+from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .._types import CountingDeadline, Itemset
 from .base import SupportCounter
 from .hash_tree import HashTree
 from .parallel import ShardedCounter
+from .roaring import RoaringCounter, measure_density
 from .shm import ShmShardedCounter
 from .transaction_db import TransactionDatabase
 from .trie import CandidateTrie
@@ -74,12 +83,16 @@ from .vertical import (
 
 __all__ = [
     "AUTO_PACKED_MIN_ROWS",
+    "AUTO_ROARING_MAX_DENSITY",
+    "AUTO_ROARING_MIN_ROWS",
     "BitmapCounter",
     "CountingDeadline",
     "DEFAULT_ENGINE",
+    "EngineDecision",
     "HashTreeCounter",
     "NaiveCounter",
     "PackedCounter",
+    "RoaringCounter",
     "ShardedCounter",
     "ShmShardedCounter",
     "SupportCounter",
@@ -87,7 +100,9 @@ __all__ = [
     "available_engines",
     "count_pairs",
     "count_singletons",
+    "engine_decision",
     "get_counter",
+    "resolve_counter",
     "select_engine",
 ]
 
@@ -251,6 +266,7 @@ _ENGINES = {
     "trie": TrieCounter,
     "bitmap": BitmapCounter,
     "packed": PackedCounter,
+    "roaring": RoaringCounter,
     "sharded": ShardedCounter,
     "shm": ShmShardedCounter,
 }
@@ -261,6 +277,80 @@ DEFAULT_ENGINE = "bitmap"
 #: (when NumPy is importable).  Below it, batch setup costs rival the
 #: counting itself and plain int bitmaps win.
 AUTO_PACKED_MIN_ROWS = 512
+
+#: ``auto`` upgrades ``packed`` to ``roaring`` only at or above this many
+#: transactions: compression pays through skipped words, and below ~4k
+#: rows the flat matrix fits in cache no matter how sparse the columns.
+AUTO_ROARING_MIN_ROWS = 4096
+
+#: ...and only when mean column density is at or below this.  Denser
+#: data builds mostly bitmap containers, where the flat packed matrix
+#: with its vectorized batch kernel is the better representation (the
+#: roaring engine itself would pick its packed rung anyway).
+AUTO_ROARING_MAX_DENSITY = 0.05
+
+
+@dataclass
+class EngineDecision:
+    """An engine choice plus the measured evidence that produced it.
+
+    ``engine`` is what :func:`get_counter` should instantiate; ``evidence``
+    is a JSON-ready dict recorded into ``MiningStats.engine_evidence`` so
+    traces show *why* a tier was picked, not just which.  For ``auto`` the
+    evidence carries the density measurement (rows / items / nnz /
+    density) and a human-readable ``reason``; explicit engine names pass
+    through with ``reason: "explicit"`` and no measurement cost.
+    """
+
+    engine: str
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+
+def engine_decision(db, name: Optional[str] = None) -> EngineDecision:
+    """Resolve an engine name against a concrete db, keeping the evidence.
+
+    The ``auto`` policy, in order:
+
+    1. no NumPy or a small database -> :data:`DEFAULT_ENGINE` (plain int
+       bitmaps; batch setup costs would rival the counting);
+    2. sparse and large (density <= :data:`AUTO_ROARING_MAX_DENSITY`,
+       rows >= :data:`AUTO_ROARING_MIN_ROWS`) -> ``roaring``;
+    3. otherwise -> ``packed``.
+    """
+    if name is not None and name != "auto":
+        return EngineDecision(name, {"reason": "explicit"})
+    if db is None:
+        return EngineDecision(DEFAULT_ENGINE, {"reason": "no database"})
+    if not HAVE_NUMPY or len(db) < AUTO_PACKED_MIN_ROWS:
+        return EngineDecision(
+            DEFAULT_ENGINE,
+            {
+                "rows": len(db),
+                "reason": (
+                    "numpy unavailable"
+                    if not HAVE_NUMPY
+                    else "below packed row threshold (%d)"
+                    % AUTO_PACKED_MIN_ROWS
+                ),
+            },
+        )
+    evidence = measure_density(db)
+    if (
+        evidence["rows"] >= AUTO_ROARING_MIN_ROWS
+        and evidence["density"] <= AUTO_ROARING_MAX_DENSITY
+    ):
+        evidence["reason"] = "sparse (density %.4f <= %.2f)" % (
+            evidence["density"],
+            AUTO_ROARING_MAX_DENSITY,
+        )
+        return EngineDecision("roaring", evidence)
+    evidence["reason"] = (
+        "dense (density %.4f > %.2f)"
+        % (evidence["density"], AUTO_ROARING_MAX_DENSITY)
+        if evidence["rows"] >= AUTO_ROARING_MIN_ROWS
+        else "below roaring row threshold (%d)" % AUTO_ROARING_MIN_ROWS
+    )
+    return EngineDecision("packed", evidence)
 
 
 def get_counter(name: Optional[str] = None) -> SupportCounter:
@@ -286,17 +376,30 @@ def get_counter(name: Optional[str] = None) -> SupportCounter:
 def select_engine(db, name: Optional[str] = None) -> str:
     """Resolve an engine name (possibly ``auto``) against a concrete db.
 
-    ``auto`` — what the miners default to — picks ``packed`` when NumPy is
-    available and the database is large enough for batch counting to pay
-    (:data:`AUTO_PACKED_MIN_ROWS`), else :data:`DEFAULT_ENGINE`.  Explicit
-    names pass through unchanged (and unvalidated — :func:`get_counter`
-    raises on unknown names).
+    The name-only view of :func:`engine_decision` — ``auto`` picks
+    ``roaring`` for large sparse databases, ``packed`` for large dense
+    ones (NumPy permitting), else :data:`DEFAULT_ENGINE`.  Explicit names
+    pass through unchanged (and unvalidated — :func:`get_counter` raises
+    on unknown names).  Callers that want the density evidence behind the
+    choice should use :func:`engine_decision` directly.
     """
-    if name is None or name == "auto":
-        if HAVE_NUMPY and db is not None and len(db) >= AUTO_PACKED_MIN_ROWS:
-            return "packed"
-        return DEFAULT_ENGINE
-    return name
+    return engine_decision(db, name).engine
+
+
+def resolve_counter(db, name, counter):
+    """The miners' engine-resolution step: ``(engine, decision)``.
+
+    A caller-supplied ``counter`` wins (decision records its name with
+    reason ``caller-supplied``); otherwise the name — usually ``auto`` —
+    is resolved against the database via :func:`engine_decision` and the
+    evidence travels with the instantiated engine into ``MiningStats``.
+    """
+    if counter is not None:
+        return counter, EngineDecision(
+            getattr(counter, "name", ""), {"reason": "caller-supplied"}
+        )
+    decision = engine_decision(db, name)
+    return get_counter(decision.engine), decision
 
 
 def available_engines() -> List[str]:

@@ -312,6 +312,19 @@ class PackedBitmapIndex:
     #: universes with larger (or negative) ids fall back to dict mapping.
     MAX_TABLE_ITEM = 1 << 20
 
+    #: Row width (uint64 words) at or above which a candidate block is
+    #: counted by the cache-blocked fused kernel instead of materialising
+    #: full-width (C, W) accumulators.  512 words = 32k transactions —
+    #: below that the whole working set is L2-resident anyway.
+    FUSED_MIN_WORDS = 512
+
+    #: Words per column tile of the fused kernel.  The per-tile working
+    #: set is ``chunk x TILE_WORDS x 8`` bytes per level (~1 MiB at the
+    #: budget-bounded chunk sizes), sized so the accumulator stays in L2
+    #: across all levels of a tile instead of streaming from DRAM once
+    #: per level.
+    TILE_WORDS = 128
+
     def __init__(self, matrix, rows: Dict[int, int], num_rows: int) -> None:
         self._matrix = matrix
         self._rows = rows
@@ -485,13 +498,16 @@ class PackedBitmapIndex:
                 positions = positions[known]
                 group = group[known]
             chunk = self._chunk_for(length, chunk_size)
+            fused = self.num_words >= self.FUSED_MIN_WORDS
             for start in range(0, len(group), chunk):
                 if deadline_check is not None:
                     deadline_check()
                 block = group[start : start + chunk]
-                out[lo + positions[start : start + chunk]] = _popcount_words(
-                    self._intersect(block)
-                )
+                if fused:
+                    counted = self._fused_counts_tiled(block)
+                else:
+                    counted = _popcount_words(self._intersect(block))
+                out[lo + positions[start : start + chunk]] = counted
 
     def word_slice(self, word_lo: int, word_hi: int) -> "PackedBitmapIndex":
         """A zero-copy view of transactions ``[64*word_lo, 64*word_hi)``.
@@ -561,6 +577,27 @@ class PackedBitmapIndex:
         roughly one vectorized AND per candidate-trie edge, exactly the
         saving the scalar cache gives the ``bitmap`` engine.
         """
+        base_rows, levels = self._prefix_plan(block)
+        self._account_plan(block, levels)
+        accumulators = self._matrix[base_rows]
+        for inverse, last_rows in reversed(levels):
+            accumulators = _np.bitwise_and(
+                accumulators[inverse], self._matrix[last_rows]
+            )
+        return accumulators
+
+    @staticmethod
+    def _prefix_plan(block):
+        """Levelwise ``np.unique`` dedup plan for a (C, L) block.
+
+        Returns ``(base_rows, levels)`` where ``levels`` is a list of
+        ``(inverse, last_rows)`` pairs: evaluating ``base_rows`` and then
+        AND-ing ``acc[inverse] & matrix[last_rows]`` level by level in
+        reverse yields one accumulator row per candidate.  The plan is
+        pure index arithmetic — no bitmap columns are touched — so the
+        fused kernel computes it once per block and replays it per word
+        tile.
+        """
         levels = []
         current = block
         while current.shape[1] > 1:
@@ -569,15 +606,54 @@ class PackedBitmapIndex:
             )
             levels.append((inverse.reshape(-1), current[:, -1]))
             current = unique_prefixes
-        accumulators = self._matrix[current[:, 0]]
+        return current[:, 0], levels
+
+    def _account_plan(self, block, levels) -> None:
         performed = sum(len(last_rows) for _, last_rows in levels)
         self.prefix_misses += performed
         self.prefix_hits += block.shape[0] * (block.shape[1] - 1) - performed
-        for inverse, last_rows in reversed(levels):
-            accumulators = _np.bitwise_and(
-                accumulators[inverse], self._matrix[last_rows]
-            )
-        return accumulators
+
+    def _fused_counts_tiled(self, block):
+        """Cache-blocked fused AND + popcount over a (C, L) block.
+
+        The full-width path (:meth:`_intersect`) streams a ``(C, W)``
+        accumulator through memory once per candidate level and once more
+        for the popcount.  Here the transaction dimension is cut into
+        :data:`TILE_WORDS` column tiles: the shared-prefix plan is hoisted
+        once per block, then replayed per tile, so every level's AND and
+        the final popcount reduction happen while the tile-sized
+        accumulator is still cache-resident.  Nothing of shape ``(C, W)``
+        is ever materialised — the only full-width output is the int64
+        count vector.
+        """
+        count, length = block.shape
+        matrix = self._matrix
+        num_words = self.num_words
+        results = _np.zeros(count, dtype=_np.int64)
+        use_plan = 2 < length <= 32 and count >= 256
+        if use_plan:
+            base_rows, levels = self._prefix_plan(block)
+            self._account_plan(block, levels)
+        else:
+            self.prefix_misses += count * (length - 1)
+        tile = max(1, self.TILE_WORDS)
+        for word_lo in range(0, num_words, tile):
+            columns = matrix[:, word_lo : word_lo + tile]
+            if use_plan:
+                accumulators = columns[base_rows]
+                for inverse, last_rows in reversed(levels):
+                    accumulators = _np.bitwise_and(
+                        accumulators[inverse], columns[last_rows]
+                    )
+            else:
+                # advanced indexing copies, so the in-place AND is safe
+                accumulators = columns[block[:, 0]]
+                for column in range(1, length):
+                    _np.bitwise_and(
+                        accumulators, columns[block[:, column]], out=accumulators
+                    )
+            results += _popcount_words(accumulators)
+        return results
 
 
 class IntBitmapIndex:
@@ -631,9 +707,21 @@ class IntBitmapIndex:
         )
         results = [0] * len(candidates)
         order = sorted(range(len(candidates)), key=lambda i: candidates[i])
-        for step, position in enumerate(order):
-            if deadline_check is not None and step % 4096 == 0:
-                deadline_check()
+        # Deadline cadence matches the packed path's chunk budget: check
+        # once per ~2^22 words of AND work, where one item-AND costs
+        # ``ceil(num_rows / 64)`` words.  The old per-4096-candidates
+        # stepping let a batch of long candidates over a wide database run
+        # arbitrarily far past its deadline between checks.
+        words_per_item = max(1, (self._num_rows + 63) // 64)
+        work_budget = max(1, (1 << 22) // words_per_item)
+        work = 0
+        for position in order:
+            if deadline_check is not None:
+                if work == 0:
+                    deadline_check()
+                work += len(candidates[position]) or 1
+                if work >= work_budget:
+                    work = 0
             value = cache.intersection(candidates[position])
             if value is not None:
                 results[position] = popcount(value)

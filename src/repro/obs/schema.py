@@ -228,6 +228,14 @@ def validate_stats_document(document: Dict[str, Any]) -> None:
         isinstance(document.get("records_read"), int),
         "records_read must be an int",
     )
+    # additive v1 keys: absent in pre-roaring documents, so optional
+    if "engine" in document:
+        _require(isinstance(document["engine"], str), "engine must be str")
+    if "engine_evidence" in document:
+        _require(
+            isinstance(document["engine_evidence"], dict),
+            "engine_evidence must be an object",
+        )
     passes = document.get("passes")
     _require(isinstance(passes, list), "passes must be a list")
     for entry in passes:

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.itemset import Itemset
 from ..core.result import MiningResult
-from ..db.counting import SupportCounter, get_counter, select_engine
+from ..db.counting import SupportCounter, resolve_counter
 from ..db.transaction_db import TransactionDatabase
 from .generation import AssociationRule, generate_rules
 
@@ -62,11 +62,7 @@ def expand_mfs_supports(
     subsets hit the database.  Returns a combined support table (the
     mining run's counts plus the new ones).
     """
-    engine_obj = (
-        counter
-        if counter is not None
-        else get_counter(select_engine(db, engine))
-    )
+    engine_obj, _ = resolve_counter(db, engine, counter)
     wanted = mfs_subsets_to_depth(result.mfs, depth)
     missing = sorted(wanted - set(result.supports))
     counted = engine_obj.count(db, missing)

@@ -256,3 +256,83 @@ def test_popcount():
     assert popcount(0) == 0
     assert popcount(0b1011) == 3
     assert popcount((1 << 200) - 1) == 200
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="requires NumPy")
+class TestFusedTiledKernel:
+    """Cache-blocked fused AND+popcount vs the reference index.
+
+    The fused path only engages on wide matrices (``num_words >=
+    FUSED_MIN_WORDS``), so these tests lower the threshold on one
+    *instance* and shrink ``TILE_WORDS`` below ``num_words`` to force
+    multiple tiles — including a ragged final tile — then compare against
+    ``IntBitmapIndex`` ground truth.
+    """
+
+    ROWS = 300  # 5 words: tile=3 gives one full tile + a ragged one
+
+    def _db(self):
+        transactions = [
+            sorted({t % 7, t % 11 + 10, t % 3 + 30, (t * 13) % 5 + 40})
+            for t in range(self.ROWS)
+        ]
+        return TransactionDatabase(transactions)
+
+    def _fused_index(self, db):
+        index = PackedBitmapIndex.from_database(db)
+        assert index.num_words == (self.ROWS + 63) // 64
+        index.FUSED_MIN_WORDS = 1
+        index.TILE_WORDS = 3
+        return index
+
+    def test_matches_reference_without_prefix_plan(self):
+        # a short candidate list stays below the plan threshold (256),
+        # exercising the in-place column-AND branch of the fused loop
+        db = self._db()
+        index = self._fused_index(db)
+        candidates = [
+            (),
+            (0,),
+            (0, 10),
+            (0, 10, 30),
+            (1, 12, 31, 42),
+            (99,),
+            (0, 99),
+        ]
+        expected = IntBitmapIndex.from_database(db).counts(candidates)
+        assert index.counts(candidates) == expected
+
+    def test_matches_reference_with_prefix_plan(self):
+        # >=256 same-length candidates route through the hoisted prefix
+        # plan, replayed per word tile
+        db = self._db()
+        index = self._fused_index(db)
+        candidates = sorted(
+            {
+                (a, b + 10, c + 30)
+                for a in range(7)
+                for b in range(11)
+                for c in range(3)
+            }
+        ) * 2
+        assert len(candidates) >= 256
+        expected = IntBitmapIndex.from_database(db).counts(candidates)
+        assert index.counts(candidates) == expected
+
+    def test_prefix_accounting_still_reported(self):
+        db = self._db()
+        index = self._fused_index(db)
+        candidates = sorted(
+            {(a, b + 10, 30) for a in range(7) for b in range(11)}
+        ) * 4
+        index.counts(candidates)
+        assert index.prefix_hits > 0
+        assert index.prefix_misses > 0
+
+    def test_tile_larger_than_matrix_is_one_tile(self):
+        db = self._db()
+        index = self._fused_index(db)
+        index.TILE_WORDS = 10 ** 6
+        candidates = [(0,), (0, 10), (1, 12, 31)]
+        expected = IntBitmapIndex.from_database(db).counts(candidates)
+        assert index.counts(candidates) == expected
