@@ -11,9 +11,11 @@ Subcommands cover the end-to-end workflow:
 * ``rules``    — mine and then emit association rules (MFS-first);
 * ``bench``    — run one of the paper's experiments and print its rows
   (``bench regress`` gates the recorded bench trajectory instead);
-* ``obs``      — work with recorded traces: ``obs export`` converts a
-  trace or metrics file for Perfetto/Prometheus, ``obs report`` prints
-  a span-tree profile with wall/CPU/memory columns.
+* ``obs``      — work with recorded traces and live runs: ``obs export``
+  converts a trace or metrics file for Perfetto/Prometheus, ``obs
+  report`` prints a span-tree profile with wall/CPU/memory columns, and
+  ``obs top`` attaches a live per-shard console to a mine started with
+  ``--telemetry NAME``.
 
 Run ``pincer <subcommand> --help`` for the full flag list.
 """
@@ -87,6 +89,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--trace-max-events", type=int, default=None, metavar="N",
         help="cap the trace at N events; excess events are dropped and "
         "a single 'truncated' marker records how many",
+    )
+    group.add_argument(
+        "--telemetry", nargs="?", const="auto", default=None, metavar="NAME",
+        help="publish live shared-memory shard heartbeats; pass NAME to "
+        "pin the segment name so 'pincer obs top NAME' can attach from "
+        "another terminal (bare flag generates a name)",
     )
 
 
@@ -383,6 +391,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("rest", nargs=argparse.REMAINDER)
     obs_report.set_defaults(handler=_cmd_obs_report)
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="live per-shard console over a running mine's telemetry "
+        "segment (started with --telemetry NAME)",
+        add_help=False,
+    )
+    obs_top.add_argument("rest", nargs=argparse.REMAINDER)
+    obs_top.set_defaults(handler=_cmd_obs_top)
     return parser
 
 
@@ -396,6 +412,12 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     from .obs.report import main as report_main
 
     return report_main(args.rest)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from .obs.top import main as top_main
+
+    return top_main(args.rest)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -414,6 +436,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.report import main as report_main
 
         return report_main(argv[2:])
+    if argv[:2] == ["obs", "top"]:
+        from .obs.top import main as top_main
+
+        return top_main(argv[2:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.log_level:
@@ -427,6 +453,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         profile=args.profile,
         progress=args.progress,
         trace_max_events=args.trace_max_events,
+        telemetry=args.telemetry,
     )
     args.obs = obs
     sampler = None

@@ -267,6 +267,9 @@ class PincerSearch:
                     bound = candidate_upper_bound(len(level_frequents), k)
                     if obs.enabled:
                         pass_span.set(candidate_bound=bound)
+                    # engines with a live telemetry plane publish the
+                    # bound so `pincer obs top` can show an honest ETA
+                    engine.note_candidate_bound(bound)
                     maintaining = policy.keep_after_classification(
                         k, len(frequent_in_ck), len(candidates), longest_maximal,
                         mfcs_size=len(mfcs), candidate_bound=bound,

@@ -105,6 +105,15 @@ class SupportCounter:
         pass is worth parallel coordination.  Default: ignored.
         """
 
+    def note_candidate_bound(self, bound: Optional[int]) -> None:
+        """Provable upper bound on the next pass's candidate count.
+
+        Miners feed the Geerts–Goethals–Van den Bussche bound after each
+        pass; engines with a live telemetry plane publish it so an
+        attached ``pincer obs top`` can show an honest in-flight ETA.
+        Default: ignored.
+        """
+
     def close(self) -> None:
         """Release engine-held resources (worker pools, shared segments).
 

@@ -29,6 +29,7 @@ transactions are not worth a process.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import time
@@ -38,6 +39,12 @@ from typing import Dict, List, Optional, Tuple
 from .._types import Itemset
 from ..obs.logsetup import get_logger
 from ..obs.resources import rusage_snapshot
+from ..obs.telemetry import (
+    STATE_COUNTING,
+    STATE_IDLE,
+    TelemetryConfig,
+    TelemetryWriter,
+)
 from .base import SupportCounter
 from .vertical import build_index
 
@@ -102,7 +109,7 @@ def _shard_bounds(num_rows: int, num_shards: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def _shard_worker(connection, transactions, universe) -> None:
+def _shard_worker(connection, transactions, universe, telemetry_spec=None) -> None:
     """Worker loop: build the shard index once, then serve count batches.
 
     Each reply carries the counts **plus the shard's own accounting** —
@@ -110,6 +117,12 @@ def _shard_worker(connection, transactions, universe) -> None:
     wall-clock and CPU seconds for the batch, and the worker process's
     peak RSS — so the parent can aggregate exact ``records_read`` totals
     and per-shard resource attribution without a side channel.
+
+    With a ``telemetry_spec`` the worker also publishes seqlock
+    heartbeats into its telemetry slot: a beat at batch boundaries plus
+    throttled mid-count beats through the index's ``deadline_check``
+    hook, so the parent's stall watchdog sees liveness *inside* a long
+    batch.  Telemetry failures never affect counting.
     """
     num_rows = len(transactions)
     startup_started = time.perf_counter()
@@ -119,9 +132,12 @@ def _shard_worker(connection, transactions, universe) -> None:
         connection.send(("error", repr(exc)))
         connection.close()
         return
+    telemetry = TelemetryWriter.attach(telemetry_spec)
     connection.send(
         ("ready", os.getpid(), time.perf_counter() - startup_started)
     )
+    if telemetry is not None:
+        telemetry.beat(state=STATE_IDLE, rows_total=num_rows)
     while True:
         try:
             message = connection.recv()
@@ -136,7 +152,17 @@ def _shard_worker(connection, transactions, universe) -> None:
                 batch, bill = message, True
             started = time.perf_counter()
             cpu_started = time.process_time()
-            counts = index.counts(batch)
+            if telemetry is not None:
+                telemetry.beat(state=STATE_COUNTING, candidates_total=len(batch))
+                counts = index.counts(batch, deadline_check=telemetry.maybe_beat)
+                telemetry.advance(
+                    candidates_done=len(batch),
+                    rows_done=num_rows,
+                    records_read=num_rows if bill else 0,
+                )
+                telemetry.beat(state=STATE_IDLE)
+            else:
+                counts = index.counts(batch)
             meta = {
                 "records_read": num_rows if bill else 0,
                 "seconds": time.perf_counter() - started,
@@ -146,6 +172,8 @@ def _shard_worker(connection, transactions, universe) -> None:
             connection.send(("counts", counts, meta))
         except BaseException as exc:  # pragma: no cover - defensive
             connection.send(("error", repr(exc)))
+    if telemetry is not None:
+        telemetry.close()
     connection.close()
 
 
@@ -196,6 +224,19 @@ class ShardedCounter(SupportCounter):
         self.worker_startup_seconds: List[float] = []
         #: pipe-payload chunks the most recent pass was split into
         self.last_batch_chunks = 0
+        #: live telemetry plane (EngineTelemetry), when obs requests one
+        self._telemetry = None
+        #: stalls survived so far; each one steps the fallback ladder
+        #: down at the next attach (see :meth:`_attach`)
+        self._stall_strikes = 0
+        #: [start, stop) row bounds per shard of the latest attach
+        self._shard_bounds: List[Tuple[int, int]] = []
+        #: shard -> parent-side replacement index for shards whose worker
+        #: stalled this attach (their work runs in-process from then on)
+        self._failed_shards: Dict[int, object] = {}
+        self._needs_reattach = False
+        #: shards reassigned away from stalled workers (cumulative)
+        self.shards_reassigned = 0
 
     # ------------------------------------------------------------------
     # worker / shard lifecycle
@@ -217,7 +258,10 @@ class ShardedCounter(SupportCounter):
             self._use_processes if self._use_processes is not None else shards > 1
         )
         self.shard_rows = [stop - start for start, stop in bounds]
-        if processes and shards > 1:
+        self._shard_bounds = list(bounds)
+        self._failed_shards = {}
+        if processes and shards > 1 and self._stall_strikes < 2:
+            self._telemetry = self._make_telemetry(shards)
             if self._spawn_workers(transactions, universe, bounds):
                 self._db_ref = weakref.ref(db)
                 logger.debug(
@@ -225,6 +269,7 @@ class ShardedCounter(SupportCounter):
                     len(bounds), self.shard_rows,
                 )
                 return
+            self._close_telemetry()
         # serial sharding: same shard-local indexes, same summation
         self._indexes = [
             build_index(transactions[start:stop], universe)
@@ -233,6 +278,32 @@ class ShardedCounter(SupportCounter):
         self._db_ref = weakref.ref(db)
         logger.debug("attached %d in-process shards", len(self._indexes))
 
+    def _make_telemetry(self, num_workers: int):
+        """Build the engine's telemetry plane when obs asks for one."""
+        config = TelemetryConfig.from_option(
+            getattr(self.obs, "telemetry", None)
+        )
+        if config is None:
+            return None
+        try:
+            from ..obs.telemetry import EngineTelemetry
+
+            return EngineTelemetry(num_workers, config, obs=self.obs)
+        except Exception:
+            logger.warning(
+                "telemetry plane unavailable; mining without heartbeats",
+                exc_info=True,
+            )
+            return None
+
+    def _close_telemetry(self) -> None:
+        if self._telemetry is not None:
+            telemetry, self._telemetry = self._telemetry, None
+            try:
+                telemetry.close()
+            except Exception:  # pragma: no cover - teardown resilience
+                logger.debug("telemetry close failed", exc_info=True)
+
     def _spawn_workers(self, transactions, universe, bounds) -> bool:
         context = multiprocessing.get_context()
         if "fork" in multiprocessing.get_all_start_methods():
@@ -240,11 +311,16 @@ class ShardedCounter(SupportCounter):
         workers: List[multiprocessing.Process] = []
         connections: List[object] = []
         try:
-            for start, stop in bounds:
+            for shard, (start, stop) in enumerate(bounds):
                 parent_end, child_end = context.Pipe()
+                spec = (
+                    self._telemetry.worker_spec(shard)
+                    if self._telemetry is not None
+                    else None
+                )
                 worker = context.Process(
                     target=_shard_worker,
-                    args=(child_end, transactions[start:stop], universe),
+                    args=(child_end, transactions[start:stop], universe, spec),
                     daemon=True,
                 )
                 worker.start()
@@ -274,7 +350,11 @@ class ShardedCounter(SupportCounter):
         return True
 
     def close(self) -> None:
-        """Shut down workers and drop shard indexes (idempotent)."""
+        """Shut down workers and drop shard indexes (idempotent).
+
+        ``_stall_strikes`` deliberately survives: it is the fallback
+        ladder's memory, and the post-stall reattach goes through here.
+        """
         for connection in self._connections:
             try:
                 connection.send(None)
@@ -284,6 +364,11 @@ class ShardedCounter(SupportCounter):
             worker.join(timeout=2.0)
             if worker.is_alive():  # pragma: no cover - stuck worker
                 worker.terminate()
+                worker.join(timeout=1.0)
+            if worker.is_alive():  # pragma: no cover - SIGSTOPped worker
+                # SIGTERM stays pending on a stopped process; only
+                # SIGKILL resumes-and-reaps it
+                worker.kill()
                 worker.join(timeout=1.0)
         for connection in self._connections:
             try:
@@ -300,6 +385,10 @@ class ShardedCounter(SupportCounter):
         self.last_shard_maxrss_kb = []
         self._indexes = []
         self._db_ref = None
+        self._shard_bounds = []
+        self._failed_shards = {}
+        self._needs_reattach = False
+        self._close_telemetry()
 
     def __del__(self):  # pragma: no cover - interpreter teardown timing
         try:
@@ -355,7 +444,102 @@ class ShardedCounter(SupportCounter):
                 )
                 self.records_read += index.num_rows
         self._record_shard_metrics()
+        self._finish_pass_after_stalls()
         return dict(zip(candidates, totals))
+
+    def note_candidate_bound(self, bound: Optional[int]) -> None:
+        """Miner-provided bound on the next pass's candidates (live ETA)."""
+        if self._telemetry is not None and bound is not None:
+            self._telemetry.note_bound(bound)
+
+    def _worker_alive(self, shard: int) -> bool:
+        try:
+            return self._workers[shard].is_alive()
+        except (IndexError, ValueError):  # pragma: no cover - torn state
+            return False
+
+    def _finish_pass_after_stalls(self) -> None:
+        """After a pass that survived a stall: drop the wounded pool.
+
+        The next ``count()`` re-attaches; ``_stall_strikes`` (which
+        :meth:`close` preserves) steps the ladder down — one strike
+        keeps/pipes the process plane, two strikes force in-process
+        serial shards.
+        """
+        if self._needs_reattach:
+            logger.info(
+                "re-attaching after %d stall strike(s); ladder position: %s",
+                self._stall_strikes,
+                "serial" if self._stall_strikes >= 2 else "processes",
+            )
+            self.close()
+
+    def _build_recovery_index(self, shard: int):
+        """Rebuild the stalled shard's index in-process, from the db."""
+        db = self._db_ref() if self._db_ref is not None else None
+        if db is None:  # pragma: no cover - db died mid-pass
+            raise RuntimeError("database vanished during shard recovery")
+        start, stop = self._shard_bounds[shard]
+        transactions = list(
+            itertools.islice(iter(db.transactions), start, stop)
+        )
+        return build_index(transactions, list(db.universe))
+
+    def _recover_pipe_shard(
+        self, shard: int, chunk, start: int, totals: List[int], bill: bool
+    ) -> None:
+        """Take a stalled worker's shard over, in-process, mid-pass.
+
+        The worker is SIGKILLed (a SIGSTOPped process ignores SIGTERM),
+        so it can neither write another reply nor hold the pass hostage;
+        any reply it managed to send for *this* chunk stays unread
+        (``pending`` already dropped the shard), so adding the local
+        count below never double-counts.  Counts are byte-identical by
+        construction: the same ``build_index`` over the same transaction
+        slice.
+        """
+        worker = self._workers[shard]
+        worker.kill()
+        worker.join(timeout=2.0)
+        if self._telemetry is not None:
+            # no-op if the watchdog already flagged this stall; covers
+            # deaths the pipe announced first (send/recv races)
+            self._telemetry.note_worker_dead(shard)
+        index = self._failed_shards.get(shard)
+        if index is None:
+            rebuild_started = time.perf_counter()
+            index = self._build_recovery_index(shard)
+            self._failed_shards[shard] = index
+            self.shards_reassigned += 1
+            self._stall_strikes += 1
+            self._needs_reattach = True
+            if self.obs.enabled:
+                self.obs.counter("telemetry.shards_reassigned").inc()
+            logger.warning(
+                "shard %d reassigned to the parent (index rebuild %.3fs)",
+                shard, time.perf_counter() - rebuild_started,
+            )
+        self._count_failed_shard(shard, index, chunk, start, totals, bill)
+
+    def _count_failed_shard(
+        self, shard: int, index, chunk, start: int, totals: List[int], bill: bool
+    ) -> None:
+        shard_started = time.perf_counter()
+        shard_cpu_started = time.process_time()
+        for position, count in enumerate(
+            index.counts(chunk, deadline_check=self._check_deadline)
+        ):
+            totals[start + position] += count
+        if bill:
+            self.records_read += index.num_rows
+        self.last_shard_seconds[shard] += time.perf_counter() - shard_started
+        self.last_shard_cpu_seconds[shard] += (
+            time.process_time() - shard_cpu_started
+        )
+        self.last_shard_maxrss_kb[shard] = max(
+            self.last_shard_maxrss_kb[shard],
+            rusage_snapshot().get("maxrss_kb", 0),
+        )
 
     def _count_in_workers(self, candidates: List[Itemset]) -> List[int]:
         """One pass through the worker pool, in bounded pipe chunks.
@@ -364,18 +548,52 @@ class ShardedCounter(SupportCounter):
         message (or worker compute burst) can stall the heartbeat; the
         shard only bills its rows on the first chunk — the pass still
         reads each transaction once, however many chunks carried it.
+
+        With a telemetry plane attached, the reply-wait loop doubles as
+        the watchdog tick: stalled workers' shards are re-counted by the
+        parent mid-pass (byte-identical — same index build, same rows)
+        and the pool is retired at the end of the pass.
         """
         totals = [0] * len(candidates)
+        telemetry = self._telemetry
         self.last_shard_seconds = [0.0] * len(self._connections)
         self.last_shard_cpu_seconds = [0.0] * len(self._connections)
         self.last_shard_maxrss_kb = [0] * len(self._connections)
         starts = range(0, len(candidates), PIPE_BATCH_LIMIT)
         self.last_batch_chunks = len(starts)
+        if telemetry is not None:
+            telemetry.begin_pass(self.passes, len(candidates))
         for chunk_index, start in enumerate(starts):
             chunk = candidates[start : start + PIPE_BATCH_LIMIT]
-            for connection in self._connections:
-                connection.send(("count", chunk, chunk_index == 0))
-            pending = set(range(len(self._connections)))
+            bill = chunk_index == 0
+            pending = set()
+            # snapshot first: a send-time death below adds to
+            # _failed_shards *and* counts this chunk itself — iterating
+            # the live dict here would count that chunk twice
+            already_failed = sorted(self._failed_shards.items())
+            for shard, connection in enumerate(self._connections):
+                if shard in self._failed_shards:
+                    continue
+                try:
+                    connection.send(("count", chunk, bill))
+                except (BrokenPipeError, OSError):
+                    if telemetry is not None:
+                        # the worker died before the chunk reached it
+                        self._recover_pipe_shard(
+                            shard, chunk, start, totals, bill
+                        )
+                        continue
+                    self.close()
+                    raise RuntimeError(
+                        "shard %d died mid-pass" % shard
+                    ) from None
+                pending.add(shard)
+            # shards taken over on an earlier chunk count in-process;
+            # their rows were billed when the takeover happened on chunk 0
+            for shard, index in already_failed:
+                self._count_failed_shard(
+                    shard, index, chunk, start, totals, False
+                )
             while pending:
                 try:
                     self._check_deadline()
@@ -384,11 +602,35 @@ class ShardedCounter(SupportCounter):
                     # pool; the next count() re-attaches cleanly
                     self.close()
                     raise
+                if telemetry is not None:
+                    telemetry.poll()
+                    for event in telemetry.check_stalls(
+                        pending, alive=self._worker_alive
+                    ):
+                        if event.shard in pending:
+                            pending.discard(event.shard)
+                            self._recover_pipe_shard(
+                                event.shard, chunk, start, totals, bill
+                            )
                 for shard in sorted(pending):
                     connection = self._connections[shard]
-                    if not connection.poll(0.01):
-                        continue
-                    reply = connection.recv()
+                    try:
+                        if not connection.poll(0.01):
+                            continue
+                        reply = connection.recv()
+                    except (EOFError, OSError):
+                        if telemetry is not None:
+                            # raced the watchdog to a dead worker: same
+                            # takeover, different messenger
+                            pending.discard(shard)
+                            self._recover_pipe_shard(
+                                shard, chunk, start, totals, bill
+                            )
+                            continue
+                        self.close()
+                        raise RuntimeError(
+                            "shard %d died mid-pass" % shard
+                        ) from None
                     if reply[0] != "counts":
                         self.close()
                         raise RuntimeError(
@@ -407,6 +649,8 @@ class ShardedCounter(SupportCounter):
                         meta.get("maxrss_kb", 0),
                     )
                     pending.discard(shard)
+        if telemetry is not None:
+            telemetry.end_pass(len(candidates))
         return totals
 
     def _record_shard_metrics(self) -> None:

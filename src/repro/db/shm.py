@@ -44,6 +44,12 @@ from typing import Dict, List, Optional, Tuple
 from .._types import Itemset
 from ..obs.logsetup import get_logger
 from ..obs.resources import rusage_snapshot
+from ..obs.telemetry import (
+    STATE_COUNTING,
+    STATE_IDLE,
+    STATE_STEALING,
+    TelemetryWriter,
+)
 from .parallel import AdaptiveShardScheduler, ShardedCounter, default_num_shards
 from .snapshot import load_snapshot, snapshot_database
 from .vertical import HAVE_NUMPY, PackedBitmapIndex
@@ -210,7 +216,10 @@ def _shm_worker(connection, spec: Dict, cursor) -> None:
         connection.send(("error", repr(exc)))
         connection.close()
         return
+    telemetry = TelemetryWriter.attach(spec.get("telemetry"))
     connection.send(("ready", os.getpid(), time.perf_counter() - started))
+    if telemetry is not None:
+        telemetry.beat(state=STATE_IDLE, rows_total=slice_index.num_rows)
 
     worker_id = spec["worker"]
     num_workers = spec["num_workers"]
@@ -262,12 +271,24 @@ def _shm_worker(connection, spec: Dict, cursor) -> None:
             hits_before = full_index.prefix_hits + slice_index.prefix_hits
             misses_before = full_index.prefix_misses + slice_index.prefix_misses
             chunks_taken = 0
+            beat_hook = telemetry.maybe_beat if telemetry is not None else None
             if task["mode"] == "rows":
+                if telemetry is not None:
+                    telemetry.beat(state=STATE_COUNTING, candidates_total=n)
                 slice_index.counts_into(
-                    lengths, flat_rows, out, 0, n, offsets=offsets
+                    lengths, flat_rows, out, 0, n, offsets=offsets,
+                    deadline_check=beat_hook,
                 )
                 records_read = slice_index.num_rows
+                if telemetry is not None:
+                    telemetry.advance(
+                        candidates_done=n,
+                        rows_done=records_read,
+                        records_read=records_read,
+                    )
             else:
+                if telemetry is not None:
+                    telemetry.beat(state=STATE_STEALING, candidates_total=n)
                 chunk = task["chunk"]
                 while True:
                     with cursor.get_lock():
@@ -276,14 +297,21 @@ def _shm_worker(connection, spec: Dict, cursor) -> None:
                     lo = chunk_id * chunk
                     if lo >= n:
                         break
+                    hi = min(lo + chunk, n)
                     full_index.counts_into(
-                        lengths, flat_rows, out, lo, min(lo + chunk, n),
-                        offsets=offsets,
+                        lengths, flat_rows, out, lo, hi,
+                        offsets=offsets, deadline_check=beat_hook,
                     )
                     chunks_taken += 1
+                    if telemetry is not None:
+                        telemetry.advance(candidates_done=hi - lo)
+                        telemetry.note(cursor=chunk_id)
+                        telemetry.maybe_beat()
                 # the pass reads the database once logically, whichever
                 # worker touches which candidate; the parent bills |D|
                 records_read = 0
+            if telemetry is not None:
+                telemetry.beat(state=STATE_IDLE)
             meta = {
                 "records_read": records_read,
                 "seconds": time.perf_counter() - wall_started,
@@ -305,6 +333,8 @@ def _shm_worker(connection, spec: Dict, cursor) -> None:
     except NameError:  # stopped before the first task
         pass
     del matrix, full_index, slice_index
+    if telemetry is not None:
+        telemetry.close()
     _close_quietly(batch_segment, results_segment, matrix_segment)
     connection.close()
 
@@ -467,6 +497,8 @@ class ShmShardedCounter(ShardedCounter):
         self._parent_index: Optional[PackedBitmapIndex] = None
         self._scheduler: Optional[AdaptiveShardScheduler] = None
         self._finalizer = None
+        #: word-aligned matrix column ranges per worker (for recovery)
+        self._word_ranges: List[Tuple[int, int]] = []
         #: which rung of the fallback ladder is serving: "shm", "mmap",
         #: "pipe" (inherited worker plane) or "serial"
         self.plane = "unattached"
@@ -500,6 +532,9 @@ class ShmShardedCounter(ShardedCounter):
             and _shared_memory is not None
             and processes
             and workers > 1
+            # one stall strike steps the ladder below the shared planes;
+            # the second (handled by the base class) forces serial
+            and self._stall_strikes < 1
             and self._attach_shared(db, workers)
         ):
             self._db_ref = weakref.ref(db)
@@ -546,8 +581,10 @@ class ShmShardedCounter(ShardedCounter):
             if plane is None:
                 return False
         plane.num_workers = workers
+        self._telemetry = self._make_telemetry(workers)
         if not self._spawn_shm_workers(plane, matrix_spec, index, workers):
             plane.close()
+            self._close_telemetry()
             return False
         self._plane = plane
         self._parent_index = index
@@ -611,6 +648,7 @@ class ShmShardedCounter(ShardedCounter):
         plane.cursor = context.Value("l", 0)
         untrack = context.get_start_method() != "fork"
         bounds = _word_bounds(index.num_words, workers)
+        self._word_ranges = list(bounds)
         processes: List = []
         connections: List = []
         self.worker_startup_seconds = []
@@ -624,6 +662,11 @@ class ShmShardedCounter(ShardedCounter):
                     worker=worker_id,
                     num_workers=workers,
                     untrack=untrack,
+                    telemetry=(
+                        self._telemetry.worker_spec(worker_id)
+                        if self._telemetry is not None
+                        else None
+                    ),
                 )
                 parent_end, child_end = context.Pipe()
                 process = context.Process(
@@ -665,6 +708,7 @@ class ShmShardedCounter(ShardedCounter):
             self._plane = None
         self._parent_index = None
         self._scheduler = None
+        self._word_ranges = []
         self.plane = "unattached"
         self.last_mode = None
         self.worker_startup_seconds = []
@@ -685,6 +729,7 @@ class ShmShardedCounter(ShardedCounter):
             return super()._count(db, candidates)
         totals = self._count_shared(candidates)
         self._record_shard_metrics()
+        self._finish_pass_after_stalls()
         return dict(zip(candidates, totals))
 
     def _count_shared(self, candidates: List[Itemset]) -> List[int]:
@@ -697,22 +742,65 @@ class ShmShardedCounter(ShardedCounter):
         plane.flat[: len(flat_rows)] = flat_rows
         mode, chunk = self._scheduler.choose(n, plane.num_rows)
         self.last_mode = mode
-        if mode == "candidates":
-            plane.results[:, :n] = 0
-            plane.cursor.value = 0
         task = plane.task_header()
         task.update(
             n=n, flat_len=len(flat_rows), mode=mode, chunk=chunk,
             num_workers=plane.num_workers,
         )
+        if self._telemetry is not None:
+            self._telemetry.begin_pass(self.passes, n, mode)
         pass_started = time.perf_counter()
-        try:
-            for connection in self._connections:
-                connection.send(task)
-        except (BrokenPipeError, OSError):
-            self.close()
-            raise RuntimeError("shm worker died mid-pass") from None
-        metas = self._collect_replies()
+        self.last_shard_seconds = [0.0] * len(self._connections)
+        self.last_shard_cpu_seconds = [0.0] * len(self._connections)
+        self.last_shard_maxrss_kb = [0] * len(self._connections)
+        dead: set = set()
+        metas: List[Dict] = []
+        while True:
+            live = [
+                shard
+                for shard in range(len(self._connections))
+                if shard not in dead
+            ]
+            if mode == "candidates":
+                # stealing writes are scattered over every row, so each
+                # (re)attempt starts from zero; a retry after a stall
+                # recounts the full batch on the surviving workers —
+                # counts_into is a pure function of the shared matrix, so
+                # the recount is byte-identical to an undisturbed pass.
+                # The reset writes the raw ctypes object: no worker is
+                # mid-claim here, and a stalled worker may have died
+                # holding the cursor's lock
+                plane.results[:, :n] = 0
+                plane.cursor.get_obj().value = 0
+            if not live:
+                self._parent_recount_all(task)
+                break
+            sent: List[int] = []
+            recovered: List[Dict] = []
+            for shard in live:
+                try:
+                    self._connections[shard].send(task)
+                    sent.append(shard)
+                except (BrokenPipeError, OSError):
+                    if self._telemetry is None:
+                        self.close()
+                        raise RuntimeError(
+                            "shm worker died mid-pass"
+                        ) from None
+                    # the worker died before this pass even reached it:
+                    # retire it now — rows mode recounts its word slice
+                    # in the parent, candidates mode lets the survivors
+                    # steal its share off the cursor
+                    self._retire_shm_worker(shard, dead)
+                    if mode == "rows":
+                        recovered.append(self._recover_shm_rows(shard, task))
+            if not sent:
+                self._parent_recount_all(task)
+                break
+            metas, retry = self._collect_replies(task, sent, dead)
+            metas.extend(recovered)
+            if not retry:
+                break
         seconds = time.perf_counter() - pass_started
         self._scheduler.observe(mode, n, seconds)
         if mode == "candidates":
@@ -729,6 +817,8 @@ class ShmShardedCounter(ShardedCounter):
         totals = plane.results[: plane.num_workers, :n].sum(
             axis=0, dtype=_np.int64
         )
+        if self._telemetry is not None:
+            self._telemetry.end_pass(n)
         if self.obs.enabled:
             self.obs.counter("scheduler.mode.%s" % mode).inc()
             self.obs.counter("shard.steals").inc(steals)
@@ -738,19 +828,52 @@ class ShmShardedCounter(ShardedCounter):
             self.obs.counter("prefix_cache.misses").inc(misses)
         return totals.tolist()
 
-    def _collect_replies(self) -> List[Dict]:
-        """Deadline-aware reply collection (mirrors the pipe plane)."""
+    def _collect_replies(
+        self,
+        task: Optional[Dict] = None,
+        live: Optional[List[int]] = None,
+        dead: Optional[set] = None,
+    ) -> Tuple[List[Dict], bool]:
+        """Deadline- and stall-aware reply collection.
+
+        Returns ``(metas, retry)``.  ``retry`` is True only when a
+        candidates-mode worker stalled: its chunk claims are
+        unrecoverable (the shared cursor already moved past them), so
+        the caller must zero the results and re-run the task on the
+        surviving workers.  Rows-mode stalls are absorbed here — the
+        parent recounts the stalled worker's word slice into that
+        worker's result row, which no other process writes.
+        """
+        if live is None:
+            live = list(range(len(self._connections)))
+        if dead is None:
+            dead = set()
+        mode = task["mode"] if task is not None else "rows"
+        telemetry = self._telemetry
         metas: List[Optional[Dict]] = [None] * len(self._connections)
-        self.last_shard_seconds = [0.0] * len(self._connections)
-        self.last_shard_cpu_seconds = [0.0] * len(self._connections)
-        self.last_shard_maxrss_kb = [0] * len(self._connections)
-        pending = set(range(len(self._connections)))
+        pending = set(live)
+        retry = False
         while pending:
             try:
                 self._check_deadline()
             except Exception:
                 self.close()
                 raise
+            if telemetry is not None:
+                telemetry.poll()
+                for event in telemetry.check_stalls(
+                    pending, alive=self._worker_alive
+                ):
+                    if event.shard not in pending:
+                        continue
+                    pending.discard(event.shard)
+                    self._retire_shm_worker(event.shard, dead)
+                    if mode == "rows" and task is not None:
+                        metas[event.shard] = self._recover_shm_rows(
+                            event.shard, task
+                        )
+                    else:
+                        retry = True
             for shard in sorted(pending):
                 connection = self._connections[shard]
                 try:
@@ -758,6 +881,16 @@ class ShmShardedCounter(ShardedCounter):
                         continue
                     reply = connection.recv()
                 except (EOFError, OSError):
+                    if telemetry is not None and task is not None:
+                        # raced the watchdog to a dead worker: same
+                        # recovery, different messenger
+                        pending.discard(shard)
+                        self._retire_shm_worker(shard, dead)
+                        if mode == "rows":
+                            metas[shard] = self._recover_shm_rows(shard, task)
+                        else:
+                            retry = True
+                        continue
                     self.close()
                     raise RuntimeError(
                         "shm worker %d died mid-pass" % shard
@@ -774,4 +907,95 @@ class ShmShardedCounter(ShardedCounter):
                 self.last_shard_cpu_seconds[shard] = meta["cpu_seconds"]
                 self.last_shard_maxrss_kb[shard] = meta["maxrss_kb"]
                 pending.discard(shard)
-        return [meta for meta in metas if meta is not None]
+        return [meta for meta in metas if meta is not None], retry
+
+    # ------------------------------------------------------------------
+    # stall recovery
+    # ------------------------------------------------------------------
+
+    def _retire_shm_worker(self, shard: int, dead: set) -> None:
+        """SIGKILL a stalled worker and take the stall strike."""
+        dead.add(shard)
+        worker = self._workers[shard]
+        worker.kill()
+        worker.join(timeout=2.0)
+        if self._telemetry is not None:
+            # no-op if the watchdog already flagged this stall; covers
+            # deaths the pipe announced first (send/recv races)
+            self._telemetry.note_worker_dead(shard)
+        self.shards_reassigned += 1
+        self._stall_strikes += 1
+        self._needs_reattach = True
+        if self.obs.enabled:
+            self.obs.counter("telemetry.shards_reassigned").inc()
+
+    def _recover_shm_rows(self, shard: int, task: Dict) -> Dict:
+        """Recount a stalled worker's word slice into its result row.
+
+        The worker is already dead (SIGKILL), the row belongs to it
+        alone, and ``counts_into`` writes only ``out[lo:hi)`` — zeroing
+        the row first makes the parent's recount byte-identical to what
+        an undisturbed worker would have produced, even over a partial
+        write the victim left behind.
+        """
+        plane = self._plane
+        n = task["n"]
+        word_lo, word_hi = self._word_ranges[shard]
+        slice_index = self._parent_index.word_slice(word_lo, word_hi)
+        out = plane.results[shard]
+        out[:n] = 0
+        started = time.perf_counter()
+        cpu_started = time.process_time()
+        if n:
+            slice_index.counts_into(
+                plane.lengths[:n],
+                plane.flat[: task["flat_len"]],
+                out,
+                0,
+                n,
+                deadline_check=self._check_deadline,
+            )
+        meta = {
+            "records_read": slice_index.num_rows,
+            "seconds": time.perf_counter() - started,
+            "cpu_seconds": time.process_time() - cpu_started,
+            "maxrss_kb": rusage_snapshot().get("maxrss_kb", 0),
+            "chunks_taken": 0,
+            "prefix_hits": 0,
+            "prefix_misses": 0,
+        }
+        self.records_read += meta["records_read"]
+        self.last_shard_seconds[shard] += meta["seconds"]
+        self.last_shard_cpu_seconds[shard] += meta["cpu_seconds"]
+        self.last_shard_maxrss_kb[shard] = max(
+            self.last_shard_maxrss_kb[shard], meta["maxrss_kb"]
+        )
+        logger.warning(
+            "shard %d word slice [%d, %d) recounted by the parent (%.3fs)",
+            shard, word_lo, word_hi, meta["seconds"],
+        )
+        return meta
+
+    def _parent_recount_all(self, task: Dict) -> None:
+        """Last resort: every worker stalled — the parent counts alone.
+
+        Every result row is zeroed first (no worker is left alive to
+        race the writes): rows mode leaves the previous pass's counts in
+        dead workers' rows, and the column sum must see only row 0.
+        """
+        plane = self._plane
+        n = task["n"]
+        logger.warning(
+            "all %d shm workers stalled; parent counting the batch alone",
+            len(self._connections),
+        )
+        plane.results[:, :n] = 0
+        if n:
+            self._parent_index.counts_into(
+                plane.lengths[:n],
+                plane.flat[: task["flat_len"]],
+                plane.results[0],
+                0,
+                n,
+                deadline_check=self._check_deadline,
+            )

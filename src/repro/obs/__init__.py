@@ -19,7 +19,14 @@ Zero-dependency observability for the miners and counting engines:
 * :mod:`repro.obs.export` — Chrome/Perfetto trace and Prometheus text
   exporters (``python -m repro.obs.export``);
 * :mod:`repro.obs.report` — the indented span-tree trace report
-  (``python -m repro.obs.report``).
+  (``python -m repro.obs.report``);
+* :mod:`repro.obs.telemetry` — the live shared-memory heartbeat plane
+  (``--telemetry``): seqlock heartbeat slots published by shard workers,
+  plus the reader/collector side the engines poll mid-pass;
+* :mod:`repro.obs.watchdog` — the stall watchdog that turns silent
+  heartbeats into ``shard_stalled`` events and mid-pass reassignment;
+* :mod:`repro.obs.top` — the ``pincer obs top`` live operator console
+  over a telemetry segment.
 
 Everything is off by default and near-zero-cost when disabled; see
 DESIGN.md's "Observability" section for the span hierarchy and the event
@@ -50,11 +57,23 @@ from .schema import (
     validate_trace_file,
     validate_trace_lines,
 )
+from .telemetry import (
+    EngineTelemetry,
+    HeartbeatRecord,
+    TelemetryCollector,
+    TelemetryConfig,
+    TelemetryReader,
+    TelemetrySegment,
+    TelemetryWriter,
+)
 from .tracing import NOOP_SPAN, NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
+from .watchdog import StallEvent, StallWatchdog
 
 __all__ = [
     "Counter",
+    "EngineTelemetry",
     "Gauge",
+    "HeartbeatRecord",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
@@ -75,6 +94,13 @@ __all__ = [
     "SchemaError",
     "Span",
     "SpanProfiler",
+    "StallEvent",
+    "StallWatchdog",
+    "TelemetryCollector",
+    "TelemetryConfig",
+    "TelemetryReader",
+    "TelemetrySegment",
+    "TelemetryWriter",
     "Tracer",
     "capture",
     "configure_logging",

@@ -13,7 +13,10 @@ industry-standard formats tooling already exists for:
 * **Prometheus text exposition** (``--format prometheus``) — counters map
   to ``repro_<name>_total``, gauges to ``repro_<name>``, histograms to
   the summary-style ``_count``/``_sum`` pair plus ``_min``/``_max``/
-  ``_stddev`` gauges (the registry keeps summaries, not buckets).
+  ``_stddev``/``_p50``/``_p95``/``_p99`` gauges (the registry keeps
+  summaries and a sampling reservoir, not buckets).  ``telemetry``
+  events become per-second throughput counter tracks and
+  ``shard_stalled`` events instant markers in the Perfetto view.
 
 Run as a module::
 
@@ -35,6 +38,9 @@ __all__ = [
 
 #: progress-event fields rendered as Perfetto counter tracks
 _PROGRESS_COUNTERS = ("candidates", "mfcs_size", "mfs_size")
+
+#: telemetry-event fields rendered as Perfetto counter tracks
+_TELEMETRY_COUNTERS = ("candidates_per_s", "rows_per_s", "workers_active")
 
 
 def load_trace_events(path: str) -> List[Dict[str, Any]]:
@@ -65,7 +71,8 @@ def trace_to_perfetto(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     starts = [
         event["ts"]
         for event in events
-        if event.get("type") in ("span", "progress", "truncated")
+        if event.get("type")
+        in ("span", "progress", "truncated", "telemetry", "shard_stalled")
         and isinstance(event.get("ts"), (int, float))
     ]
     origin = min(starts) if starts else 0.0
@@ -112,6 +119,43 @@ def trace_to_perfetto(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                             "args": {field: value},
                         }
                     )
+        elif kind == "telemetry":
+            for field in _TELEMETRY_COUNTERS:
+                value = event.get(field)
+                if isinstance(value, (int, float)):
+                    trace_events.append(
+                        {
+                            "name": field,
+                            "cat": "repro",
+                            "ph": "C",
+                            "ts": micros(event["ts"]),
+                            "pid": pid,
+                            "tid": 1,
+                            "args": {field: value},
+                        }
+                    )
+        elif kind == "shard_stalled":
+            trace_events.append(
+                {
+                    "name": "shard %d %s (%.1fs)"
+                    % (
+                        event.get("shard", -1),
+                        event.get("kind", "stalled"),
+                        event.get("age_s", 0.0),
+                    ),
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": micros(event.get("ts", origin)),
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {
+                        key: event[key]
+                        for key in ("shard", "kind", "age_s", "threshold_s", "pid")
+                        if key in event
+                    },
+                }
+            )
         elif kind == "truncated":
             trace_events.append(
                 {
@@ -168,7 +212,7 @@ def metrics_to_prometheus(
         lines.append("# TYPE %s summary" % metric)
         lines.append("%s_count %s" % (metric, _format_value(cells["count"])))
         lines.append("%s_sum %s" % (metric, _format_value(cells["total"])))
-        for key in ("min", "max", "stddev"):
+        for key in ("min", "max", "stddev", "p50", "p95", "p99"):
             if key in cells:
                 lines.append(
                     "# TYPE %s_%s gauge" % (metric, key)

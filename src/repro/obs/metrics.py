@@ -7,14 +7,23 @@ one attribute update per observation:
 * :class:`Counter` — monotonically increasing int (``inc``);
 * :class:`Gauge` — last-written value (``set``);
 * :class:`Histogram` — running ``count/total/min/max/sumsq`` summary
-  (``observe``; ``sumsq`` powers the exported ``stddev``).  Deliberately
-  no buckets: the consumers here (bench records, the metrics JSON
-  document) want cheap summaries, and keeping the per-observation cost at
-  five scalar updates is what lets engines observe every batch.
+  (``observe``; ``sumsq`` powers the exported ``stddev``) plus a bounded
+  reservoir sample feeding :meth:`Histogram.percentile` — tail latency
+  (p95/p99) cannot be reconstructed from moments alone.  Deliberately no
+  buckets: the consumers here (bench records, the metrics JSON document)
+  want cheap summaries, and keeping the per-observation cost at a handful
+  of scalar updates is what lets engines observe every batch.
 
 Disabled instrumentation uses :data:`NULL_INSTRUMENT` — a single object
 answering ``inc``/``set``/``observe`` with a no-op — handed out by
 :class:`NullRegistry` without allocating anything per call.
+
+Instrument *creation* (the name → instrument lookup) and cross-process
+merges are guarded by a lock, so a coordinator thread — the telemetry
+collector, a daemon front-end — can write into the same registry as the
+mining thread.  Individual ``inc``/``set``/``observe`` calls stay
+lock-free: they are single attribute updates, and the GIL already makes
+them atomic enough for monotonic counters and last-write gauges.
 
 Registries serialise to the versioned ``metrics`` document of
 :mod:`repro.obs.schema` via :meth:`MetricsRegistry.to_dict`, and
@@ -26,7 +35,9 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Mapping, Union
+import random
+import threading
+from typing import Any, Dict, List, Mapping, Union
 
 from .schema import SCHEMA_VERSION
 
@@ -40,6 +51,11 @@ __all__ = [
 ]
 
 Number = Union[int, float]
+
+#: Bounded sample kept per histogram for percentile estimation.  512
+#: values bound the p99 estimate's relative rank error to ~±0.6% of the
+#: distribution while costing at most 4 KiB per histogram.
+RESERVOIR_SIZE = 512
 
 
 class Counter:
@@ -70,11 +86,15 @@ class Histogram:
     """Running summary (count, total, min, max, sumsq) of observed values.
 
     The sum of squares rides along so :meth:`to_dict` can report the
-    population standard deviation without keeping samples — the summary
-    stays five scalar updates per observation, no buckets.
+    population standard deviation without keeping samples.  A bounded
+    reservoir (:data:`RESERVOIR_SIZE` values, uniform sample over the
+    whole observation stream) additionally powers :meth:`percentile` —
+    per-query SLOs need p95/p99, and mean/stddev cannot describe a tail.
+    The reservoir's RNG is seeded per instance so documents are
+    reproducible run to run.
     """
 
-    __slots__ = ("count", "total", "min", "max", "sumsq")
+    __slots__ = ("count", "total", "min", "max", "sumsq", "_sample", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
@@ -82,6 +102,8 @@ class Histogram:
         self.min: Number = 0
         self.max: Number = 0
         self.sumsq: Number = 0
+        self._sample: List[Number] = []
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: Number) -> None:
         if self.count == 0 or value < self.min:
@@ -91,6 +113,29 @@ class Histogram:
         self.count += 1
         self.total += value
         self.sumsq += value * value
+        # Vitter's algorithm R: after the reservoir fills, each further
+        # value replaces a uniformly-chosen slot with probability R/count
+        if len(self._sample) < RESERVOIR_SIZE:
+            self._sample.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self._sample[slot] = value
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of the sampled distribution.
+
+        Nearest-rank over the bounded reservoir: exact while ``count``
+        stays within :data:`RESERVOIR_SIZE`, a uniform-sample estimate
+        beyond it.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return float(ordered[rank])
 
     @property
     def mean(self) -> float:
@@ -112,6 +157,9 @@ class Histogram:
             "max": self.max,
             "sumsq": self.sumsq,
             "stddev": round(self.stddev, 9),
+            "p50": round(self.percentile(50.0), 9),
+            "p95": round(self.percentile(95.0), 9),
+            "p99": round(self.percentile(99.0), 9),
         }
 
 
@@ -131,12 +179,21 @@ class _NullInstrument:
     def observe(self, value: Number) -> None:
         return None
 
+    def percentile(self, p: float) -> float:
+        return 0.0
+
 
 NULL_INSTRUMENT = _NullInstrument()
 
 
 class MetricsRegistry:
-    """Named counters/gauges/histograms plus JSON serialisation."""
+    """Named counters/gauges/histograms plus JSON serialisation.
+
+    Instrument creation and :meth:`merge_counters` are serialised by an
+    internal lock, so a coordinator thread (the telemetry collector, a
+    daemon front-end) and the mining thread can share one registry; the
+    hot-path writes on an *already created* instrument stay lock-free.
+    """
 
     enabled = True
 
@@ -144,49 +201,61 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter()
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter()
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge()
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge()
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram()
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram()
         return instrument
 
     def merge_counters(self, values: Mapping[str, int]) -> None:
         """Add a mapping of counter increments (per-shard aggregation)."""
-        for name, amount in values.items():
-            self.counter(name).inc(amount)
+        with self._lock:
+            for name, amount in values.items():
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter()
+                counter.inc(amount)
 
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         """The versioned ``metrics`` document (see :mod:`repro.obs.schema`)."""
+        with self._lock:  # freeze the name sets against concurrent creation
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
             "v": SCHEMA_VERSION,
             "type": "metrics",
-            "counters": {
-                name: counter.value
-                for name, counter in sorted(self._counters.items())
-            },
-            "gauges": {
-                name: gauge.value for name, gauge in sorted(self._gauges.items())
-            },
+            "counters": {name: counter.value for name, counter in counters},
+            "gauges": {name: gauge.value for name, gauge in gauges},
             "histograms": {
-                name: histogram.to_dict()
-                for name, histogram in sorted(self._histograms.items())
+                name: histogram.to_dict() for name, histogram in histograms
             },
         }
 

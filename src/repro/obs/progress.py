@@ -65,10 +65,18 @@ class ProgressReporter:
         Pass None to silence the human side.
     tracer:
         Optional :class:`~repro.obs.tracing.Tracer`; progress events are
-        then appended to the trace stream as schema-v2 ``progress`` lines.
+        then appended to the trace stream as schema ``progress`` lines.
+        Once the tracer's ``max_events`` cap has been reached the mirror
+        stops (the tracer would drop the event anyway) — the human line
+        and the ``events`` list keep flowing, and every unmirrored event
+        is tallied in :attr:`dropped_events` and, when ``metrics`` is
+        given, the ``progress.dropped_events`` counter.
     events_sink:
         Optional writable text object receiving the same events as
         standalone JSONL (for tailing a file independently of the trace).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the ``progress.dropped_events`` counter.
     """
 
     enabled = True
@@ -78,17 +86,29 @@ class ProgressReporter:
         stream: Optional[IO[str]] = sys.stderr,
         tracer: Optional[Any] = None,
         events_sink: Optional[IO[str]] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         self._stream = stream
         self._tracer = tracer
         self._events_sink = events_sink
+        self._metrics = metrics
         #: every emitted event, for programmatic consumers and tests
         self.events: List[Dict[str, Any]] = []
+        #: events the tracer cap kept out of the trace stream
+        self.dropped_events = 0
         self._started = time.perf_counter()
         self._candidates_total = 0
         self._label = "run"
 
     # ------------------------------------------------------------------
+
+    def _tracer_capped(self) -> bool:
+        """True once the attached tracer can no longer accept events."""
+        tracer = self._tracer
+        if tracer is None:
+            return True
+        cap = getattr(tracer, "max_events", None)
+        return cap is not None and tracer.events_emitted >= cap
 
     def _emit(self, phase: str, line: Optional[str], **fields: Any) -> None:
         event: Dict[str, Any] = {
@@ -100,7 +120,14 @@ class ProgressReporter:
         event.update(fields)
         self.events.append(event)
         if self._tracer is not None:
-            self._tracer.emit_event("progress", phase=phase, **fields)
+            if self._tracer_capped():
+                # the tracer would silently swallow it; keep the human
+                # side alive and make the loss observable instead
+                self.dropped_events += 1
+                if self._metrics is not None:
+                    self._metrics.counter("progress.dropped_events").inc()
+            else:
+                self._tracer.emit_event("progress", phase=phase, **fields)
         if self._events_sink is not None:
             self._events_sink.write(
                 json.dumps(event, separators=(",", ":")) + "\n"

@@ -34,6 +34,13 @@ Three document families share the version number :data:`SCHEMA_VERSION`:
     marker a size-capped tracer emits instead of growing unboundedly;
     carries the ``dropped`` event count).
 
+    Schema v3 adds the live telemetry plane's event types: ``telemetry``
+    (a mid-pass aggregate mirrored from the shared heartbeat segment by
+    the collector — ``ts``, a ``workers`` int, and flat scalar fields)
+    and ``shard_stalled`` (the watchdog's structured stall record —
+    ``ts``, the ``shard`` index, a ``kind`` of ``"dead"`` or
+    ``"wedged"``, and the observed ``age_s``).
+
 ``metrics`` documents (the ``--metrics-out`` file)
     A single JSON object::
 
@@ -63,13 +70,20 @@ from typing import Any, Dict, Iterable, List, Optional
 #: Version stamped into every emitted document.  v2 added the flight
 #: recorder: ``progress`` and ``truncated`` trace-event types, profiler
 #: span attrs (``cpu_s``/``mem_peak_kb``), and histogram ``sumsq`` /
-#: ``stddev`` fields in metrics documents.
-SCHEMA_VERSION = 2
+#: ``stddev`` fields in metrics documents.  v3 added the live telemetry
+#: plane: ``telemetry`` and ``shard_stalled`` trace-event types and
+#: histogram ``p50``/``p95``/``p99`` reservoir percentiles in metrics
+#: documents.
+SCHEMA_VERSION = 3
 
 #: Versions the validators accept: traces recorded by earlier releases
 #: must keep validating (backward compatibility is the point of the
 #: version field).
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: The ``kind`` values a ``shard_stalled`` event may carry: a worker
+#: whose process is gone versus one that is alive but no longer beating.
+STALL_KINDS = ("dead", "wedged")
 
 #: Span names the instrumented miners emit; traces may add new names
 #: freely (the validator only checks the *shape*), this list is the
@@ -152,10 +166,47 @@ def validate_trace_event(event: Dict[str, Any]) -> None:
             "truncated dropped must be a positive int",
         )
         return
+    if kind == "telemetry":
+        _require(
+            isinstance(event.get("ts"), (int, float)),
+            "telemetry ts must be a number",
+        )
+        _require(
+            isinstance(event.get("workers"), int) and event["workers"] >= 0,
+            "telemetry workers must be an int >= 0",
+        )
+        _require_scalar_attrs(
+            {k: v for k, v in event.items() if k not in ("v", "type")},
+            "telemetry",
+        )
+        return
+    if kind == "shard_stalled":
+        _require(
+            isinstance(event.get("ts"), (int, float)),
+            "shard_stalled ts must be a number",
+        )
+        _require(
+            isinstance(event.get("shard"), int) and event["shard"] >= 0,
+            "shard_stalled shard must be an int >= 0",
+        )
+        _require(
+            event.get("kind") in STALL_KINDS,
+            "shard_stalled kind must be one of %s" % (list(STALL_KINDS),),
+        )
+        _require(
+            isinstance(event.get("age_s"), (int, float))
+            and event["age_s"] >= 0,
+            "shard_stalled age_s must be a number >= 0",
+        )
+        _require_scalar_attrs(
+            {k: v for k, v in event.items() if k not in ("v", "type")},
+            "shard_stalled",
+        )
+        return
     _require(
         kind == "span",
-        "trace event type must be 'span', 'meta', 'progress' or "
-        "'truncated', got %r" % kind,
+        "trace event type must be 'span', 'meta', 'progress', 'truncated', "
+        "'telemetry' or 'shard_stalled', got %r" % kind,
     )
     _require(
         isinstance(event.get("span"), int) and event["span"] > 0,
@@ -210,6 +261,15 @@ def validate_metrics_document(document: Dict[str, Any]) -> None:
                 isinstance(cells.get(key), (int, float)),
                 "histogram %r %s must be a number" % (name, key),
             )
+        # v3 percentiles (reservoir estimates) are additive: required to
+        # be numeric when present, permitted to be absent (a merged or
+        # hand-built document may carry summaries only)
+        for key in ("p50", "p95", "p99"):
+            if key in cells:
+                _require(
+                    isinstance(cells[key], (int, float)),
+                    "histogram %r %s must be a number" % (name, key),
+                )
 
 
 def validate_stats_document(document: Dict[str, Any]) -> None:

@@ -421,7 +421,10 @@ class TestHistogramSpread:
         cells = histogram.to_dict()
         assert cells["sumsq"] == 9.0
         assert cells["stddev"] == 0.0
-        assert set(cells) == {"count", "total", "min", "max", "sumsq", "stddev"}
+        assert set(cells) == {
+            "count", "total", "min", "max", "sumsq", "stddev",
+            "p50", "p95", "p99",
+        }
 
 
 class TestSchemaV2Compat:
