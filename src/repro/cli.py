@@ -9,6 +9,9 @@ Subcommands cover the end-to-end workflow:
   engine maps the file directly;
 * ``mine``     — discover the maximum frequent set of a database file;
 * ``rules``    — mine and then emit association rules (MFS-first);
+* ``serve``    — hold one database resident (engine attached, support
+  cache warm) and answer line-delimited JSON mining queries on a unix
+  socket with admission control;
 * ``bench``    — run one of the paper's experiments and print its rows
   (``bench regress`` gates the recorded bench trajectory instead);
 * ``obs``      — work with recorded traces and live runs: ``obs export``
@@ -373,6 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(bench)
     bench.set_defaults(handler=_cmd_bench)
 
+    serve = commands.add_parser(
+        "serve",
+        help="answer mining queries over a unix socket from one "
+        "resident session (line-delimited JSON protocol)",
+        add_help=False,
+    )
+    serve.add_argument("rest", nargs=argparse.REMAINDER)
+    serve.set_defaults(handler=_cmd_serve)
+
     obs_cmd = commands.add_parser(
         "obs", help="export or report a recorded trace/metrics file"
     )
@@ -402,6 +414,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import main as serve_main
+
+    return serve_main(args.rest)
+
+
 def _cmd_obs_export(args: argparse.Namespace) -> int:
     from .obs.export import main as export_main
 
@@ -424,6 +442,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # delegated subcommands keep their own argparse flag surface; hand
     # everything past the two-word prefix to the module's main()
+    if argv[:1] == ["serve"]:
+        from .serve import main as serve_main
+
+        return serve_main(argv[1:])
     if argv[:2] == ["bench", "regress"]:
         from .bench.regress import main as regress_main
 

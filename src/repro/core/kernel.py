@@ -106,6 +106,14 @@ class LatticeKernel:
     def make_mfcs(self, universe: Iterable[int]) -> MFCS:
         raise NotImplementedError
 
+    def make_mfcs_from(self, elements: Iterable[Itemset]) -> MFCS:
+        """An MFCS seeded from an arbitrary family instead of the
+        full-universe singleton.  Non-maximal members are dropped on
+        insert, so any covering family is a valid seed (warm-start
+        queries hand the maximal family mined at a lower threshold).
+        """
+        raise NotImplementedError
+
     def apriori_join(
         self,
         level_frequents: Iterable[Itemset],
@@ -162,6 +170,9 @@ class TupleKernel(LatticeKernel):
     def make_mfcs(self, universe: Iterable[int]) -> MFCS:
         return MFCS.for_universe(universe)
 
+    def make_mfcs_from(self, elements: Iterable[Itemset]) -> MFCS:
+        return MFCS(elements)
+
     def apriori_join(self, level_frequents, deadline=None):
         return _tuple_ops.apriori_join(level_frequents, deadline=deadline)
 
@@ -200,6 +211,9 @@ class BitmaskKernel(LatticeKernel):
 
     def make_mfcs(self, universe: Iterable[int]) -> MFCS:
         return MFCS.for_universe(universe, kernel=self)
+
+    def make_mfcs_from(self, elements: Iterable[Itemset]) -> MFCS:
+        return MFCS(elements, kernel=self)
 
     def _mask_cover(self, cover) -> "Optional[MaskCover]":
         """``cover`` as a mask-queryable view of *this* universe, or None."""

@@ -106,6 +106,26 @@ class CompressedMaskStore:
         self._heads: List[int] = []  # parallel: block -> first mask
         self._count = 0
 
+    @classmethod
+    def from_dict(cls, mapping: Dict[int, int]) -> "CompressedMaskStore":
+        """Bulk-build from a mask -> slot dict in one encode sweep.
+
+        O(n log n) for the sort plus one varint encode per entry —
+        unlike repeated ``[] =``, which re-encodes a whole block per
+        insert.  The support cache compresses a hot write-buffer
+        generation this way on rotation.
+        """
+        store = cls()
+        ordered = sorted(mapping)
+        for start in range(0, len(ordered), BLOCK):
+            masks = ordered[start:start + BLOCK]
+            store._blocks.append(
+                _Block(masks, [mapping[mask] for mask in masks])
+            )
+            store._heads.append(masks[0])
+        store._count = len(ordered)
+        return store
+
     # ------------------------------------------------------------------
     # mapping protocol (the subset MaskCover uses)
     # ------------------------------------------------------------------

@@ -138,6 +138,7 @@ class PincerSearch:
         min_count: Optional[int] = None,
         counter: Optional[SupportCounter] = None,
         obs: Optional[Instrumentation] = None,
+        initial_mfcs: Optional[List[Itemset]] = None,
     ) -> MiningResult:
         """Discover the maximum frequent set of ``db``.
 
@@ -145,11 +146,24 @@ class PincerSearch:
         ``min_count`` (absolute transactions) must be given.  ``obs``
         (see :func:`repro.obs.capture`) enables span tracing and metrics
         for the run; the default no-op instrumentation costs nothing.
+
+        ``initial_mfcs`` seeds the top-down front in place of the
+        full-universe MFCS.  The seed must satisfy *both* MFCS
+        invariants at this threshold: (a) it covers every frequent
+        itemset, and (b) every strict superset of a member is
+        infrequent — (b) is what licenses declaring a frequent MFCS
+        element maximal.  The maximal frequent family previously mined
+        on the *same database* at a threshold ``<=`` this one satisfies
+        both (any itemset frequent now was frequent then, hence under
+        some old maximal member; any strict superset of an old maximal
+        member was infrequent then, hence infrequent now).  Sessions,
+        not end callers, supply this.
         """
         threshold, fraction = resolve_threshold(db, min_support, min_count)
         engine, decision = resolve_counter(db, self._engine, counter)
         obs = obs if obs is not None else NOOP
         engine.obs = obs
+        engine.begin_query()
         progress = obs.progress
         if progress.enabled:
             progress.start_run(
@@ -170,9 +184,15 @@ class PincerSearch:
         supports: Dict[Itemset, int] = {}
         mfs: Set[Itemset] = set()
         mfs_cover = lattice.make_cover()
-        mfcs = lattice.make_mfcs(db.universe)
-        maintaining = policy.keep_mfcs(0, len(mfcs), 0, 0)
+        if initial_mfcs is None:
+            mfcs = lattice.make_mfcs(db.universe)
+        else:
+            mfcs = lattice.make_mfcs_from(initial_mfcs)
         candidates: List[Itemset] = first_level_candidates(db.universe)
+        # judge the initial MFCS against the real level-1 candidate count:
+        # a warm-start seed holds one element per known maximal itemset,
+        # which is its steady size, not an explosion
+        maintaining = policy.keep_mfcs(0, len(mfcs), len(candidates), 0)
         # every itemset known frequent, counted or virtual (MFS-implied)
         frequents_seen: Set[Itemset] = set()
         longest_maximal = 0
@@ -630,6 +650,7 @@ def pincer_search(
     prune_uncovered: bool = False,
     kernel: Optional[str] = None,
     obs: Optional[Instrumentation] = None,
+    initial_mfcs: Optional[List[Itemset]] = None,
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`PincerSearch`.
 
@@ -645,4 +666,7 @@ def pincer_search(
         prune_uncovered=prune_uncovered,
         kernel=kernel,
     )
-    return miner.mine(db, min_support, min_count=min_count, obs=obs)
+    return miner.mine(
+        db, min_support, min_count=min_count, obs=obs,
+        initial_mfcs=initial_mfcs,
+    )

@@ -1,0 +1,278 @@
+"""Resident mining sessions: one hot database, many cheap queries.
+
+A :class:`MiningSession` owns what a one-shot ``mine()`` call rebuilds
+from scratch every time: the resolved counting engine (with its worker
+pool / shared-memory plane attached), a cross-threshold
+:class:`~repro.core.supportcache.SupportCache`, and the ledger of
+already-answered thresholds that powers warm-start MFCS seeding.  A
+query against a warm session is then mostly cache arithmetic:
+
+* **Supports are threshold-independent** — every count stored while
+  answering one query classifies the same itemset at any later
+  threshold, so repeated and nearby thresholds resolve most passes
+  without touching the data plane.
+* **Maximal families order by threshold** — the MFS mined at ``s_lo``
+  satisfies both MFCS invariants at any ``s_hi >= s_lo`` (it covers
+  every itemset frequent at ``s_hi``, and every strict superset of a
+  member is infrequent), so an upward query seeds its top-down front
+  from the best mined family at or below its threshold instead of the
+  full universe.  Downward queries get no seed — new maximal itemsets
+  can sit strictly above the old family — but inherit every cached
+  classification, which is where their savings live.
+
+Queries are serialized on an internal lock: one engine cannot run two
+counting passes at once.  Admission control and concurrency live one
+layer up, in :mod:`repro.serve`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..db.counting import resolve_counter
+from ..db.transaction_db import TransactionDatabase
+from ..obs.instrument import NOOP, Instrumentation
+from ..rules.from_mfs import expand_mfs_supports
+from ..rules.generation import AssociationRule, generate_rules
+from .adaptive import AdaptivePolicy
+from .bitset import ItemUniverse, candidate_upper_bound
+from .itemset import Itemset
+from .pincer import PincerSearch, resolve_threshold
+from .result import MiningResult
+from .supportcache import (
+    DEFAULT_MAX_ENTRIES,
+    CachedSupportCounter,
+    SupportCache,
+)
+
+__all__ = ["MiningSession", "SessionClosedError"]
+
+
+class SessionClosedError(RuntimeError):
+    """A query reached a session after its :meth:`MiningSession.close`."""
+
+
+class MiningSession:
+    """A resident query plane over one :class:`TransactionDatabase`.
+
+    Parameters
+    ----------
+    db:
+        The hot database.  The session attaches one engine to it and
+        keeps that attachment (worker pools, shared segments, prefix
+        caches) alive across queries.
+    engine:
+        Engine name as accepted by the one-shot miners (default
+        ``"auto"``).
+    kernel / adaptive / policy / prune_uncovered:
+        Forwarded to :class:`~repro.core.pincer.PincerSearch`.
+    obs:
+        Session-wide instrumentation; each query's spans and the
+        ``cache.*`` metrics land here.
+    cache_entries:
+        Bound for the support cache (see :class:`SupportCache`).
+    key:
+        Snapshot identity string the cache is keyed by (e.g. the
+        snapshot path).  Purely descriptive for in-memory databases.
+    """
+
+    def __init__(
+        self,
+        db: TransactionDatabase,
+        *,
+        engine: str = "auto",
+        kernel: Optional[str] = None,
+        adaptive: bool = True,
+        policy: Optional[AdaptivePolicy] = None,
+        prune_uncovered: bool = False,
+        obs: Optional[Instrumentation] = None,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+        key: Optional[str] = None,
+    ) -> None:
+        self.db = db
+        self.obs = obs if obs is not None else NOOP
+        self.key = key if key is not None else "mem-%x" % id(db)
+        engine_obj, decision = resolve_counter(db, engine, None)
+        self.decision = decision
+        self.cache = SupportCache(
+            ItemUniverse(db.universe), max_entries=cache_entries, key=self.key
+        )
+        #: the cached facade every query counts through; the session owns
+        #: the wrapped engine's lifetime
+        self.counter = CachedSupportCounter(engine_obj, self.cache)
+        self._miner = PincerSearch(
+            engine=engine,
+            adaptive=adaptive,
+            policy=policy,
+            prune_uncovered=prune_uncovered,
+            kernel=kernel,
+        )
+        #: absolute threshold -> MFS mined there (the warm-start ledger)
+        self._mined: Dict[int, frozenset] = {}
+        self._lock = threading.Lock()
+        self.closed = False
+        self.queries = 0
+        self.warm_queries = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        min_support: Optional[float] = None,
+        *,
+        min_count: Optional[int] = None,
+        warm_start: bool = True,
+    ) -> MiningResult:
+        """Answer one max-frequent-set query against the warm session.
+
+        Identical results to a cold :meth:`PincerSearch.mine` at the
+        same threshold — the cache substitutes counts it already proved,
+        and the warm seed only replaces the full-universe MFCS with a
+        family satisfying the same invariants (see
+        :meth:`PincerSearch.mine` on ``initial_mfcs``).
+        """
+        threshold, _ = resolve_threshold(self.db, min_support, min_count)
+        with self._lock:
+            self._ensure_open()
+            seed = self._warm_seed(threshold) if warm_start else None
+            result = self._miner.mine(
+                self.db,
+                min_count=threshold,
+                counter=self.counter,
+                obs=self.obs,
+                initial_mfcs=seed,
+            )
+            self._mined[threshold] = result.mfs
+            self.queries += 1
+            if seed is not None:
+                self.warm_queries += 1
+        return result
+
+    def rules(
+        self,
+        min_support: Optional[float] = None,
+        *,
+        min_count: Optional[int] = None,
+        min_confidence: float = 0.8,
+        depth: Optional[int] = 2,
+    ) -> List[AssociationRule]:
+        """Stage-2 rules at a threshold, reusing the session's cache.
+
+        Mines (warm) first, then expands MFS-subset supports through the
+        cached counter, so repeated rule queries at nearby thresholds
+        re-count almost nothing.
+        """
+        result = self.mine(min_support, min_count=min_count)
+        if depth is None:
+            depth = max((len(member) for member in result.mfs), default=0)
+        with self._lock:
+            self._ensure_open()
+            supports = expand_mfs_supports(
+                self.db, result, depth, counter=self.counter
+            )
+        return generate_rules(
+            supports,
+            num_transactions=result.num_transactions,
+            min_confidence=min_confidence,
+            min_support_count=result.min_support_count,
+        )
+
+    # ------------------------------------------------------------------
+    # admission-control support
+    # ------------------------------------------------------------------
+
+    def estimate_cost(
+        self,
+        min_support: Optional[float] = None,
+        *,
+        min_count: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Cheap upper-bound cost estimate for a query at a threshold.
+
+        Uses the Geerts–Goethals–Van den Bussche candidate bound over
+        the frequent singletons — read from the cache when their counts
+        are already known, else pessimistically all items.  Warm
+        evidence (a mined threshold at or below the query's) marks the
+        query cheap regardless of the bound, because its passes resolve
+        from cache.  Never touches the data plane.
+        """
+        threshold, _ = resolve_threshold(self.db, min_support, min_count)
+        known = 0
+        frequent_singletons = 0
+        for item in self.db.universe:
+            cached = self.cache.get((item,))
+            if cached is None:
+                continue
+            known += 1
+            if cached >= threshold:
+                frequent_singletons += 1
+        if known == len(self.db.universe):
+            bound = candidate_upper_bound(frequent_singletons, 1)
+        else:  # singletons not yet counted: assume the worst
+            bound = candidate_upper_bound(len(self.db.universe), 1)
+        warm = self._best_seed_threshold(threshold) is not None
+        return {
+            "threshold": threshold,
+            "candidate_bound": bound,
+            "singletons_known": known == len(self.db.universe),
+            "warm": warm,
+            "records": len(self.db),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "engine": self.decision.engine,
+            "queries": self.queries,
+            "warm_queries": self.warm_queries,
+            "mined_thresholds": sorted(self._mined),
+            "cache": self.cache.stats(),
+            "passes": self.counter.passes,
+            "records_read": self.counter.records_read,
+        }
+
+    def close(self) -> None:
+        """Release the engine; idempotent.  Later queries raise."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            self.counter.close()
+
+    def __enter__(self) -> "MiningSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise SessionClosedError("session %s is closed" % self.key)
+
+    def _best_seed_threshold(self, threshold: int) -> Optional[int]:
+        """Largest mined threshold at or below ``threshold``, or None."""
+        eligible = [t for t in self._mined if t <= threshold]
+        return max(eligible) if eligible else None
+
+    def _warm_seed(self, threshold: int) -> Optional[List[Itemset]]:
+        """The MFCS seed for a query at ``threshold``, if one is sound.
+
+        Only a family mined at a threshold ``<=`` the query's satisfies
+        the superset-infrequency invariant (see
+        :meth:`PincerSearch.mine`); among those the *largest* such
+        threshold is the tightest family — fewest elements to classify
+        top-down.
+        """
+        best = self._best_seed_threshold(threshold)
+        if best is None:
+            return None
+        return sorted(self._mined[best])

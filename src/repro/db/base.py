@@ -18,6 +18,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .transaction_db import TransactionDatabase
 
 
+class EngineClosedError(RuntimeError):
+    """A counting request reached an engine after its :meth:`close`.
+
+    Closing is the *external* lifecycle boundary — a session or miner
+    declaring the engine's resources (worker pools, shared segments)
+    released.  Engines detach and re-attach internally all the time
+    (fallback-ladder steps, stall recovery), which never trips this;
+    only a caller-visible ``close()`` makes later ``count()`` calls an
+    error instead of a silent use-after-free of a dead worker pool.
+    """
+
+
 class SupportCounter:
     """Base class for counting engines; also the pass/IO accountant.
 
@@ -40,6 +52,9 @@ class SupportCounter:
         self.itemsets_counted = 0
         self.deadline: Optional[float] = None
         self.obs: Instrumentation = NOOP
+        #: True once :meth:`close` has run; further counting raises
+        #: :class:`EngineClosedError`
+        self.closed = False
 
     def _check_deadline(self) -> None:
         if self.deadline is not None and time.perf_counter() > self.deadline:
@@ -65,6 +80,11 @@ class SupportCounter:
         An empty candidate collection is free: no pass is billed and an
         empty mapping is returned.
         """
+        if self.closed:
+            raise EngineClosedError(
+                "%s engine was closed; counting on it would run against "
+                "released worker pools / shared segments" % self.name
+            )
         batch = candidates if isinstance(candidates, list) else list(candidates)
         if not batch:
             return {}
@@ -114,11 +134,41 @@ class SupportCounter:
         Default: ignored.
         """
 
+    def begin_query(self) -> None:
+        """Reset per-query adaptive state on a reused engine.
+
+        Sessions and miners call this at the start of each logical query
+        so predictions learned from the *previous* query's shape (the
+        miner-fed pass rate steering the shared-memory plane's
+        row/candidate scheduler) cannot pollute the first-pass decisions
+        of an unrelated one.  Structural state that is a property of the
+        attached database — worker pools, shared segments, prefix
+        caches — deliberately survives; that reuse is the whole point of
+        a resident session.  Default: nothing to reset.
+        """
+
     def close(self) -> None:
         """Release engine-held resources (worker pools, shared segments).
 
-        No-op for in-process engines; miners call it on engines they
-        created themselves once the run ends.  Must be idempotent.
+        Idempotent: the first call releases, later calls are free.  A
+        closed engine refuses further :meth:`count` calls with
+        :class:`EngineClosedError` — catching use-after-close at the
+        API boundary instead of hanging on a dead worker pipe.
+        Subclasses releasing real resources override :meth:`_detach`
+        (also used for internal re-attach cycles), not this.
+        """
+        if self.closed:
+            return
+        self._detach()
+        self.closed = True
+
+    def _detach(self) -> None:
+        """Release attached resources without sealing the engine.
+
+        Internal lifecycle step: engines detach when they re-attach to a
+        new database, step down the fallback ladder, or recover from a
+        stalled pool — and must keep serving ``count()`` afterwards.
+        No-op for in-process engines.
         """
 
     def reset(self) -> None:

@@ -246,7 +246,7 @@ class ShardedCounter(SupportCounter):
         return self._db_ref is not None and self._db_ref() is db
 
     def _attach(self, db) -> None:
-        self.close()
+        self._detach()
         transactions = list(db.transactions)
         shards = self._num_shards or default_num_shards(
             len(transactions), self._max_workers
@@ -349,11 +349,15 @@ class ShardedCounter(SupportCounter):
         self.worker_startup_seconds = startup_seconds
         return True
 
-    def close(self) -> None:
+    def _detach(self) -> None:
         """Shut down workers and drop shard indexes (idempotent).
 
         ``_stall_strikes`` deliberately survives: it is the fallback
         ladder's memory, and the post-stall reattach goes through here.
+        This is the *internal* teardown — re-attach cycles and stall
+        recovery call it directly; the sealing ``close()`` (inherited
+        from :class:`~repro.db.base.SupportCounter`) layers the
+        use-after-close guard on top.
         """
         for connection in self._connections:
             try:
@@ -472,7 +476,7 @@ class ShardedCounter(SupportCounter):
                 self._stall_strikes,
                 "serial" if self._stall_strikes >= 2 else "processes",
             )
-            self.close()
+            self._detach()
 
     def _build_recovery_index(self, shard: int):
         """Rebuild the stalled shard's index in-process, from the db."""
@@ -583,7 +587,7 @@ class ShardedCounter(SupportCounter):
                             shard, chunk, start, totals, bill
                         )
                         continue
-                    self.close()
+                    self._detach()
                     raise RuntimeError(
                         "shard %d died mid-pass" % shard
                     ) from None
@@ -600,7 +604,7 @@ class ShardedCounter(SupportCounter):
                 except Exception:
                     # pending replies would poison the next pass: drop the
                     # pool; the next count() re-attaches cleanly
-                    self.close()
+                    self._detach()
                     raise
                 if telemetry is not None:
                     telemetry.poll()
@@ -627,12 +631,12 @@ class ShardedCounter(SupportCounter):
                                 shard, chunk, start, totals, bill
                             )
                             continue
-                        self.close()
+                        self._detach()
                         raise RuntimeError(
                             "shard %d died mid-pass" % shard
                         ) from None
                     if reply[0] != "counts":
-                        self.close()
+                        self._detach()
                         raise RuntimeError(
                             "shard %d failed: %s" % (shard, reply[1])
                         )
@@ -730,6 +734,17 @@ class AdaptiveShardScheduler:
         self._miner_rate: Optional[float] = None
         #: decisions taken so far, by mode (observability + tests)
         self.decisions: Dict[str, int] = {"rows": 0, "candidates": 0}
+
+    def reset_query(self) -> None:
+        """Drop state describing the *previous* query's candidate shape.
+
+        The miner-fed rate predicts how fast the next pass counts, but
+        that prediction came from another query's candidates; carrying it
+        over would bias the first-pass mode choice.  The per-mode EWMAs
+        stay — they measure this database on this machine, which the next
+        query shares.
+        """
+        self._miner_rate = None
 
     def chunk_for(self, num_candidates: int) -> int:
         """Work-stealing chunk size: ~4 chunks per worker, clamped."""

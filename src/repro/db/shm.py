@@ -518,7 +518,7 @@ class ShmShardedCounter(ShardedCounter):
 
     def _attach(self, db) -> None:
         attach_started = time.perf_counter()
-        self.close()
+        self._detach()
         num_rows = len(db)
         workers = self._num_shards or default_num_shards(
             num_rows, self._max_workers
@@ -698,8 +698,8 @@ class ShmShardedCounter(ShardedCounter):
         self.worker_pids = [process.pid for process in processes]
         return True
 
-    def close(self) -> None:
-        super().close()
+    def _detach(self) -> None:
+        super()._detach()
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
@@ -721,6 +721,17 @@ class ShmShardedCounter(ShardedCounter):
         """Miner-observed candidates/second: feeds the mode scheduler."""
         if self._scheduler is not None:
             self._scheduler.note_miner_rate(rate)
+
+    def begin_query(self) -> None:
+        """Forget the previous query's miner-fed rate.
+
+        The per-mode throughput EWMAs survive — they measure this
+        database on this machine — but the miner rate describes the
+        *previous* query's candidate shape and would skew the first-pass
+        mode choice of the next one.
+        """
+        if self._scheduler is not None:
+            self._scheduler.reset_query()
 
     def _count(self, db, candidates: List[Itemset]) -> Dict[Itemset, int]:
         if not self._attached_to(db):
@@ -783,7 +794,7 @@ class ShmShardedCounter(ShardedCounter):
                     sent.append(shard)
                 except (BrokenPipeError, OSError):
                     if self._telemetry is None:
-                        self.close()
+                        self._detach()
                         raise RuntimeError(
                             "shm worker died mid-pass"
                         ) from None
@@ -857,7 +868,9 @@ class ShmShardedCounter(ShardedCounter):
             try:
                 self._check_deadline()
             except Exception:
-                self.close()
+                # pending replies would poison the next pass: drop the
+                # plane; the next count() re-attaches cleanly
+                self._detach()
                 raise
             if telemetry is not None:
                 telemetry.poll()
@@ -891,12 +904,12 @@ class ShmShardedCounter(ShardedCounter):
                         else:
                             retry = True
                         continue
-                    self.close()
+                    self._detach()
                     raise RuntimeError(
                         "shm worker %d died mid-pass" % shard
                     ) from None
                 if reply[0] != "done":
-                    self.close()
+                    self._detach()
                     raise RuntimeError(
                         "shm worker %d failed: %s" % (shard, reply[1])
                     )

@@ -1,0 +1,451 @@
+"""``pincer serve``: a resident mining session behind a unix socket.
+
+One :class:`~repro.core.session.MiningSession` holds the hot database —
+engine attached, support cache warm — and a small threaded front-end
+answers line-delimited JSON queries against it.  The wire protocol is
+one JSON object per line, both directions:
+
+    {"op": "mine",  "min_support": 1.5}            -> MFS + query stats
+    {"op": "rules", "min_support": 1.5,
+     "min_confidence": 80, "depth": 2}             -> association rules
+    {"op": "stats"}                                -> session/cache stats
+    {"op": "ping"}                                 -> {"ok": true}
+    {"op": "shutdown"}                             -> stops the server
+
+``min_support`` is a percentage, matching the CLI flags.  Responses
+always carry ``"ok"``; failures carry ``"error"`` and never kill the
+connection (malformed JSON gets an error line back).
+
+Admission control: the engine serializes passes, so concurrency is a
+queue — what needs bounding is how much *provable work* may pile up
+behind the lock.  Each query is priced before it runs using the
+session's :meth:`~repro.core.session.MiningSession.estimate_cost`
+(Geerts–Goethals–Van den Bussche candidate bound over the frequent
+singletons; warm queries price near zero because their passes resolve
+from cache).  A query whose price would push the in-flight total over
+the budget is rejected with ``{"ok": false, "error": "busy"}`` and a
+``retry`` hint — except when nothing is in flight, where rejection
+would be a livelock, so the queue always drains.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .core.session import MiningSession
+from .obs.instrument import NOOP, Instrumentation
+from .obs.logsetup import get_logger
+
+__all__ = ["MiningServer", "request", "DEFAULT_COST_BUDGET"]
+
+logger = get_logger("serve")
+
+#: Default in-flight cost budget, in candidate-bound units.  A cold
+#: query on an all-unknown database prices at the full singleton bound;
+#: the default admits a couple of cold queries' worth of backlog before
+#: shedding load.
+DEFAULT_COST_BUDGET = 2_000_000
+
+#: A warm query's passes resolve from cache; its queue price is a token
+#: constant so even thousands of them cannot starve admission entirely.
+WARM_COST = 1
+
+
+class MiningServer:
+    """Threaded line-JSON server over one resident session.
+
+    Parameters
+    ----------
+    session:
+        The warm :class:`MiningSession` to answer from.  The server
+        borrows it — :meth:`close` shuts the server down but leaves the
+        session to its owner.
+    socket_path:
+        Unix socket path; an existing stale socket file is replaced.
+    cost_budget:
+        Admission budget in candidate-bound units (see module docs).
+    obs:
+        Per-query telemetry sink (``serve.*`` metrics); defaults to the
+        session's instrumentation.
+    """
+
+    def __init__(
+        self,
+        session: MiningSession,
+        socket_path: str,
+        cost_budget: int = DEFAULT_COST_BUDGET,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.session = session
+        self.socket_path = socket_path
+        self.cost_budget = cost_budget
+        self.obs = obs if obs is not None else session.obs
+        self._inflight_cost = 0
+        self._inflight_queries = 0
+        self._admission = threading.Lock()
+        self._shutdown = threading.Event()
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self.queries_answered = 0
+        self.queries_rejected = 0
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        server = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                for raw in self.rfile:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    reply = server._handle_line(line)
+                    try:
+                        self.wfile.write(
+                            (json.dumps(reply) + "\n").encode("utf-8")
+                        )
+                        self.wfile.flush()
+                    except (BrokenPipeError, OSError):
+                        return
+                    if server._shutdown.is_set():
+                        # the reply (possibly to the shutdown request
+                        # itself) is flushed; now the listener can die.
+                        # close() is serialized and idempotent, so every
+                        # draining connection may safely kick it.
+                        threading.Thread(
+                            target=server.close, daemon=True
+                        ).start()
+                        return
+
+        class _Server(socketserver.ThreadingUnixStreamServer):
+            daemon_threads = True
+            allow_reuse_address = True
+            # a unix-socket connect against a full backlog fails with
+            # EAGAIN rather than queueing like TCP, so the default
+            # backlog of 5 bounces concurrent clients before admission
+            # control ever sees them
+            request_queue_size = 128
+
+        self._server = _Server(socket_path, _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`close` or a ``shutdown`` request."""
+        logger.info("serving %s on %s", self.session.key, self.socket_path)
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "MiningServer":
+        """Serve on a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="pincer-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, close the listener, remove the socket file.
+
+        Serialized on a lock so a concurrent caller (the ``finally`` in
+        :func:`main` racing the handler-spawned close after a
+        ``shutdown`` request) blocks until cleanup has actually
+        finished rather than returning while the socket file is still
+        being removed.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._shutdown.set()
+            self._server.shutdown()
+            self._server.server_close()
+            thread = self._thread
+            if thread is not None and thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+            self._thread = None
+            if os.path.exists(self.socket_path):
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:  # pragma: no cover - races with rm
+                    pass
+
+    def __enter__(self) -> "MiningServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    def _handle_line(self, line: bytes) -> Dict:
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return {"ok": False, "error": "malformed json"}
+        if not isinstance(message, dict):
+            return {"ok": False, "error": "request must be a json object"}
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "stats":
+                return {
+                    "ok": True, "op": "stats",
+                    "session": self.session.stats(),
+                    "served": self.queries_answered,
+                    "rejected": self.queries_rejected,
+                }
+            if op == "shutdown":
+                # only mark it: the handler loop flushes this reply
+                # first and *then* kicks close(), so the requester
+                # always hears back before the listener dies
+                self._shutdown.set()
+                return {"ok": True, "op": "shutdown"}
+            if op == "mine":
+                return self._handle_mine(message)
+            if op == "rules":
+                return self._handle_rules(message)
+            return {"ok": False, "error": "unknown op %r" % (op,)}
+        except Exception as exc:
+            logger.exception("query failed: %s", message)
+            return {"ok": False, "error": "%s: %s" % (type(exc).__name__, exc)}
+
+    def _parse_support(self, message: Dict) -> float:
+        min_support = message.get("min_support")
+        if not isinstance(min_support, (int, float)) or not (
+            0 < min_support <= 100
+        ):
+            raise ValueError("min_support must be a percentage in (0, 100]")
+        return float(min_support) / 100.0
+
+    def _price(self, fraction: float) -> int:
+        estimate = self.session.estimate_cost(fraction)
+        if estimate["warm"]:
+            return WARM_COST
+        return max(WARM_COST, int(estimate["candidate_bound"]))
+
+    def _admit(self, cost: int) -> bool:
+        """Reserve ``cost`` units, or refuse.  An idle server always
+        admits — rejecting with nothing in flight would livelock."""
+        with self._admission:
+            if (
+                self._inflight_queries > 0
+                and self._inflight_cost + cost > self.cost_budget
+            ):
+                return False
+            self._inflight_cost += cost
+            self._inflight_queries += 1
+            return True
+
+    def _release(self, cost: int) -> None:
+        with self._admission:
+            self._inflight_cost -= cost
+            self._inflight_queries -= 1
+
+    def _handle_mine(self, message: Dict) -> Dict:
+        fraction = self._parse_support(message)
+        warm = bool(message.get("warm", True))
+        cost = self._price(fraction)
+        if not self._admit(cost):
+            self.queries_rejected += 1
+            if self.obs.enabled:
+                self.obs.counter("serve.rejected").inc()
+            return {
+                "ok": False, "error": "busy", "cost": cost,
+                "budget": self.cost_budget, "retry": True,
+            }
+        started = time.perf_counter()
+        try:
+            result = self.session.mine(fraction, warm_start=warm)
+        finally:
+            self._release(cost)
+        seconds = time.perf_counter() - started
+        self.queries_answered += 1
+        if self.obs.enabled:
+            self.obs.counter("serve.queries").inc()
+            self.obs.histogram("serve.seconds").observe(seconds)
+        mfs = [list(member) for member in result.sorted_mfs()]
+        return {
+            "ok": True, "op": "mine",
+            "min_support": message["min_support"],
+            "min_support_count": result.min_support_count,
+            "mfs": mfs,
+            "supports": [
+                result.support_count(tuple(member)) for member in mfs
+            ],
+            "passes": result.stats.num_passes,
+            "seconds": seconds,
+            "cost": cost,
+            "warm": cost == WARM_COST,
+            "cache": self.session.cache.stats(),
+        }
+
+    def _handle_rules(self, message: Dict) -> Dict:
+        fraction = self._parse_support(message)
+        min_confidence = float(message.get("min_confidence", 80.0)) / 100.0
+        depth = message.get("depth", 2)
+        cost = self._price(fraction)
+        if not self._admit(cost):
+            self.queries_rejected += 1
+            return {"ok": False, "error": "busy", "retry": True}
+        started = time.perf_counter()
+        try:
+            rules = self.session.rules(
+                fraction, min_confidence=min_confidence, depth=depth
+            )
+        finally:
+            self._release(cost)
+        self.queries_answered += 1
+        return {
+            "ok": True, "op": "rules",
+            "count": len(rules),
+            "rules": [
+                {
+                    "antecedent": list(rule.antecedent),
+                    "consequent": list(rule.consequent),
+                    "confidence": rule.confidence,
+                    "support": rule.support,
+                }
+                for rule in rules
+            ],
+            "seconds": time.perf_counter() - started,
+        }
+
+
+# ----------------------------------------------------------------------
+# client helper
+# ----------------------------------------------------------------------
+
+
+def _connect(socket_path: str, timeout: float) -> socket.socket:
+    """Connect with retry: a momentarily full listen backlog surfaces
+    as ``EAGAIN``/``ECONNREFUSED`` on unix sockets, which a client
+    stampede (exactly what admission control exists for) provokes."""
+    deadline = time.monotonic() + timeout
+    delay = 0.01
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(socket_path)
+            return sock
+        except (BlockingIOError, ConnectionRefusedError):
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(0.2, delay * 2)
+
+
+def request(
+    socket_path: str, message: Dict, timeout: float = 60.0
+) -> Dict:
+    """Send one request to a running server; returns the reply object."""
+    with _connect(socket_path, timeout) as sock:
+        sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        chunks: List[bytes] = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    raw = b"".join(chunks)
+    if not raw:
+        raise ConnectionError("server closed the connection without a reply")
+    return json.loads(raw.decode("utf-8").splitlines()[0])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``pincer serve`` (see :mod:`repro.cli`)."""
+    import argparse
+
+    from .db import io as db_io
+
+    parser = argparse.ArgumentParser(
+        prog="pincer serve",
+        description="answer mining queries over a unix socket",
+    )
+    parser.add_argument("input", help="database file (.dat/.basket/.csv/.json)")
+    parser.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket path to listen on",
+    )
+    parser.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="packed-bitmap snapshot of the input (written by "
+        "'pincer snapshot')",
+    )
+    parser.add_argument("--engine", default="auto")
+    parser.add_argument("--kernel", default=None)
+    parser.add_argument(
+        "--cost-budget", type=int, default=DEFAULT_COST_BUDGET,
+        help="admission-control budget in candidate-bound units",
+    )
+    parser.add_argument(
+        "--telemetry", nargs="?", const="auto", default=None, metavar="NAME",
+        help="publish live shard heartbeats ('pincer obs top NAME')",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the server's metrics registry as JSON on exit",
+    )
+    args = parser.parse_args(argv)
+
+    from .obs import capture
+
+    obs = capture(
+        metrics_path=args.metrics_out,
+        producer="pincer-serve",
+        telemetry=args.telemetry,
+    )
+    if args.snapshot:
+        from .db.disk import DiskTransactionDatabase
+
+        db = DiskTransactionDatabase(args.input, snapshot=args.snapshot)
+        key = args.snapshot
+    else:
+        db = db_io.load(args.input)
+        key = args.input
+    kernel = None if args.kernel in (None, "auto") else args.kernel
+    try:
+        with MiningSession(
+            db, engine=args.engine, kernel=kernel, obs=obs, key=key
+        ) as session:
+            server = MiningServer(
+                session, args.socket, cost_budget=args.cost_budget, obs=obs
+            )
+            print(
+                "serving %s on %s (engine %s)"
+                % (key, args.socket, session.decision.engine),
+                flush=True,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.close()
+            print(
+                "served %d queries (%d rejected); cache %s"
+                % (
+                    server.queries_answered,
+                    server.queries_rejected,
+                    session.cache.stats(),
+                ),
+                flush=True,
+            )
+    finally:
+        obs.finish()
+    return 0

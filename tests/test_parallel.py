@@ -4,6 +4,7 @@ import time
 
 import pytest
 
+from repro.db.base import EngineClosedError
 from repro.db.counting import CountingDeadline, get_counter
 from repro.db.parallel import (
     MIN_ROWS_PER_SHARD,
@@ -78,10 +79,10 @@ class TestProcessMode:
         counter.count(GROUND_TRUTH_DB, [(1,)])
         counter.close()
         assert counter.worker_pids == []
-        counter.close()
-        # counting after close() re-attaches transparently
-        assert counter.count(GROUND_TRUTH_DB, [(1,)]) == {(1,): EXPECTED[(1,)]}
-        counter.close()
+        counter.close()  # second close is free
+        # counting after close() is a caller bug, not a silent re-attach
+        with pytest.raises(EngineClosedError):
+            counter.count(GROUND_TRUTH_DB, [(1,)])
 
     def test_more_shards_than_rows_is_clamped(self):
         db = TransactionDatabase([[1], [1, 2]])

@@ -1,0 +1,237 @@
+"""The ``pincer serve`` front-end: protocol, admission, lifecycle."""
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.core.pincer import pincer_search
+from repro.core.session import MiningSession
+from repro.db.transaction_db import TransactionDatabase
+from repro.serve import MiningServer, request
+
+
+@pytest.fixture
+def db():
+    rng = random.Random(42)
+    items = list(range(1, 21))
+    return TransactionDatabase(
+        [rng.sample(items, rng.randint(2, 7)) for _ in range(400)]
+    )
+
+
+@pytest.fixture
+def server(db, tmp_path):
+    with MiningSession(db, engine="bitmap") as session:
+        srv = MiningServer(session, str(tmp_path / "pincer.sock")).start()
+        try:
+            yield srv
+        finally:
+            srv.close()
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        assert request(server.socket_path, {"op": "ping"})["ok"]
+
+    def test_mine_matches_cold_search(self, server, db):
+        reply = request(
+            server.socket_path, {"op": "mine", "min_support": 5.0}
+        )
+        assert reply["ok"]
+        cold = pincer_search(db, 0.05)
+        assert sorted(tuple(m) for m in reply["mfs"]) == sorted(cold.mfs)
+        assert reply["min_support_count"] == cold.min_support_count
+        assert len(reply["supports"]) == len(reply["mfs"])
+
+    def test_repeat_mine_is_warm_and_hits_cache(self, server):
+        first = request(
+            server.socket_path, {"op": "mine", "min_support": 5.0}
+        )
+        second = request(
+            server.socket_path, {"op": "mine", "min_support": 5.0}
+        )
+        assert second["mfs"] == first["mfs"]
+        assert second["warm"]
+        assert second["cache"]["hits"] > first["cache"]["hits"]
+
+    def test_rules(self, server):
+        reply = request(
+            server.socket_path,
+            {"op": "rules", "min_support": 5.0, "min_confidence": 50},
+        )
+        assert reply["ok"]
+        assert reply["count"] == len(reply["rules"])
+        for rule in reply["rules"]:
+            assert rule["confidence"] >= 0.5
+
+    def test_stats(self, server):
+        request(server.socket_path, {"op": "mine", "min_support": 5.0})
+        reply = request(server.socket_path, {"op": "stats"})
+        assert reply["ok"]
+        assert reply["session"]["queries"] >= 1
+        assert reply["served"] >= 1
+
+    def test_malformed_json_gets_error_not_disconnect(self, server):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(30.0)
+            sock.connect(server.socket_path)
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile().readline())
+            assert not reply["ok"]
+            assert "malformed" in reply["error"]
+            # the connection survives a bad line
+            sock.sendall(b'{"op": "ping"}\n')
+            assert json.loads(sock.makefile().readline())["ok"]
+
+    def test_bad_requests_are_errors(self, server):
+        assert not request(server.socket_path, {"op": "explode"})["ok"]
+        assert not request(
+            server.socket_path, {"op": "mine", "min_support": 0}
+        )["ok"]
+        assert not request(
+            server.socket_path, {"op": "mine", "min_support": 250.0}
+        )["ok"]
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(30.0)
+            sock.connect(server.socket_path)
+            sock.sendall(b'["a", "list"]\n')
+            reply = json.loads(sock.makefile().readline())
+            assert not reply["ok"]
+
+
+class TestConcurrency:
+    def test_concurrent_queries_all_exact(self, server, db):
+        supports = [8.0, 5.0, 3.0]
+        cold = {s: sorted(pincer_search(db, s / 100.0).mfs) for s in supports}
+        replies = [None] * 9
+        errors = []
+
+        def fire(slot, support):
+            try:
+                replies[slot] = request(
+                    server.socket_path,
+                    {"op": "mine", "min_support": support},
+                    timeout=120.0,
+                )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fire, args=(i, supports[i % 3]))
+            for i in range(9)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180.0)
+        assert not errors
+        for i, reply in enumerate(replies):
+            assert reply is not None and reply["ok"]
+            got = sorted(tuple(m) for m in reply["mfs"])
+            assert got == cold[supports[i % 3]]
+        # repeated thresholds must have hit the cache
+        stats = request(server.socket_path, {"op": "stats"})
+        assert stats["session"]["cache"]["hits"] > 0
+
+
+class TestAdmission:
+    def test_busy_rejection_when_budget_exceeded(self, db, tmp_path):
+        with MiningSession(db, engine="bitmap") as session:
+            server = MiningServer(
+                session, str(tmp_path / "tiny.sock"), cost_budget=1
+            ).start()
+            try:
+                # hold the first query in flight so the second provably
+                # arrives while the budget is spoken for
+                entered = threading.Event()
+                release = threading.Event()
+                original_mine = session.mine
+
+                def held_mine(*args, **kwargs):
+                    entered.set()
+                    assert release.wait(timeout=60.0)
+                    return original_mine(*args, **kwargs)
+
+                session.mine = held_mine
+                first = {}
+
+                def fire():
+                    first.update(
+                        request(
+                            server.socket_path,
+                            {"op": "mine", "min_support": 5.0},
+                            timeout=120.0,
+                        )
+                    )
+
+                thread = threading.Thread(target=fire)
+                thread.start()
+                assert entered.wait(timeout=60.0)
+                rejected = request(
+                    server.socket_path,
+                    {"op": "mine", "min_support": 5.0},
+                    timeout=60.0,
+                )
+                release.set()
+                thread.join(timeout=120.0)
+                assert first["ok"]  # admitted under the idle rule
+                assert not rejected["ok"]
+                assert rejected["error"] == "busy"
+                assert rejected["retry"]
+                assert server.queries_rejected == 1
+            finally:
+                server.close()
+
+    def test_idle_server_always_admits_expensive_query(self, db, tmp_path):
+        with MiningSession(db, engine="bitmap") as session:
+            server = MiningServer(
+                session, str(tmp_path / "idle.sock"), cost_budget=1
+            ).start()
+            try:
+                reply = request(
+                    server.socket_path, {"op": "mine", "min_support": 5.0}
+                )
+                assert reply["ok"]  # cost >> budget, but nothing in flight
+            finally:
+                server.close()
+
+
+class TestLifecycle:
+    def test_shutdown_removes_socket_file(self, db, tmp_path):
+        socket_path = str(tmp_path / "shut.sock")
+        import os
+
+        with MiningSession(db, engine="bitmap") as session:
+            server = MiningServer(session, socket_path).start()
+            assert os.path.exists(socket_path)
+            reply = request(socket_path, {"op": "shutdown"})
+            assert reply["ok"]
+            server._thread.join(timeout=10.0) if server._thread else None
+            # close() runs on a helper thread; wait for the file to go
+            for _ in range(100):
+                if not os.path.exists(socket_path):
+                    break
+                threading.Event().wait(0.05)
+            assert not os.path.exists(socket_path)
+            # session is borrowed, not owned: still usable after shutdown
+            assert session.mine(0.05).mfs is not None
+
+    def test_close_is_idempotent(self, db, tmp_path):
+        with MiningSession(db, engine="bitmap") as session:
+            server = MiningServer(session, str(tmp_path / "twice.sock"))
+            server.start()
+            server.close()
+            server.close()
+
+    def test_stale_socket_file_is_replaced(self, db, tmp_path):
+        socket_path = tmp_path / "stale.sock"
+        socket_path.write_text("stale")
+        with MiningSession(db, engine="bitmap") as session:
+            server = MiningServer(session, str(socket_path)).start()
+            try:
+                assert request(str(socket_path), {"op": "ping"})["ok"]
+            finally:
+                server.close()

@@ -7,6 +7,7 @@ import time
 
 import pytest
 
+from repro.db.base import EngineClosedError
 from repro.db.counting import get_counter
 from repro.db.transaction_db import TransactionDatabase
 from repro.db.vertical import HAVE_NUMPY
@@ -159,11 +160,21 @@ class TestCleanup:
         assert counter.count(DB, CANDIDATES) == EXPECTED
         counter.close()
 
-    def test_close_is_idempotent_and_reattaches(self):
+    def test_close_is_idempotent_then_counting_raises(self):
         counter = ShmShardedCounter(num_shards=2)
         counter.count(DB, CANDIDATES)
         counter.close()
-        counter.close()
+        counter.close()  # second close is free
+        with pytest.raises(EngineClosedError):
+            counter.count(DB, CANDIDATES)
+
+    def test_detach_keeps_engine_usable(self):
+        # internal lifecycle: detach (stall recovery, ladder steps)
+        # releases the plane but the next count() re-attaches
+        counter = ShmShardedCounter(num_shards=2)
+        counter.count(DB, CANDIDATES)
+        counter._detach()
+        assert counter.plane == "unattached"
         assert counter.count(DB, CANDIDATES) == EXPECTED
         counter.close()
 

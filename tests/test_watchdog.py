@@ -243,7 +243,7 @@ class TestPipePlaneRecovery:
             assert counter.count(DB, CANDIDATES) == EXPECTED
             assert len(counter._workers) > 0
             counter._stall_strikes = 2
-            counter.close()
+            counter._detach()
             # two strikes force in-process serial shards
             assert counter.count(DB, CANDIDATES) == EXPECTED
             assert counter._workers == []
