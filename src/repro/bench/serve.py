@@ -18,8 +18,19 @@ reported — the speedup is only meaningful if the answers are exact.
 The headline ``speedup_warm_repeat_vs_cold`` compares mean cold seconds
 against mean warm seconds over *repeated* thresholds (a threshold's
 second and later occurrences), which is the steady state a server
-lives in.  Run as a module to (re)generate the machine-readable record
-the CI smoke job tracks::
+lives in.
+
+A third phase prices the query-plane observability itself: the same
+warm plan is answered through :class:`~repro.serve.MiningServer`'s
+request path twice — once with every per-query instrument disabled
+(no SLO window, no access log), once with the full plane on (access
+log + slow-query ring + rolling SLO window + metrics registry) — and
+``overhead_warm_obs_pct`` reports the relative cost on warm queries,
+where the fixed per-query overhead is largest relative to the work.
+Span *tracing* is deliberately excluded here: its flight-recorder cost
+is priced by ``BENCH_obs``'s overhead gate, and a server only pays it
+when started with ``--trace``.  Run as a module to (re)generate the
+machine-readable record the CI smoke job tracks::
 
     python -m repro.bench.serve --out benchmarks/BENCH_serve.json \
         --trajectory benchmarks/trajectory.jsonl
@@ -31,6 +42,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -54,6 +66,83 @@ def _query_plan(
     for _ in range(max(1, rounds)):
         plan.extend(supports)
     return plan
+
+
+def _measure_served_overhead(
+    db,
+    plan: Sequence[float],
+    engine: str,
+    key: str,
+    tmpdir: str,
+    rounds: int = 20,
+) -> Dict[str, float]:
+    """Warm per-query seconds through the server's request path, twice.
+
+    One warmed server answers the same plan in alternating rounds: the
+    per-query instruments (rolling SLO window + access log with its
+    slow-query ring) are detached for the *plain* rounds and reattached
+    for the *obs* rounds, so the two variants share the session, the
+    cache state, and the process — the only difference each round is
+    exactly the instrument calls being priced.  Requests go straight
+    through ``MiningServer._handle_line`` (no socket round-trip — the
+    wire would drown the instrument cost being measured), and each
+    rounds are interleaved and each variant reports its best-of —
+    :mod:`repro.bench.obs_overhead`'s convention — because host noise
+    only ever adds time: the minima converge on each variant's true
+    floor, and the floors differ by exactly the instrument cost.
+    """
+    from ..serve import MiningServer
+    from ..obs.requestlog import RequestLog
+
+    lines = [
+        json.dumps({"op": "mine", "min_support": support}).encode()
+        for support in plan
+    ]
+
+    def timed_round(server) -> float:
+        started = time.perf_counter()
+        for line in lines:
+            reply = server._handle_line(line)
+            assert reply["ok"], reply
+        return (time.perf_counter() - started) / len(lines)
+
+    request_log = RequestLog(
+        os.path.join(tmpdir, "access.jsonl"),
+        slow_dir=os.path.join(tmpdir, "slow"),
+    )
+    with MiningSession(db, engine=engine, key=key) as session:
+        server = MiningServer(
+            session, os.path.join(tmpdir, "bench.sock"),
+            request_log=request_log, enable_slo=True,
+        )
+        slo = server.slo
+        # the listener must actually run: close() synchronizes with
+        # serve_forever, and a never-started server would hang there
+        server.start()
+        try:
+            timed_round(server)  # warm the cache + MFCS seeds
+            plain_rounds: List[float] = []
+            obs_rounds: List[float] = []
+            for _ in range(max(1, rounds)):
+                server.request_log, server.slo = None, None
+                plain_rounds.append(timed_round(server))
+                server.request_log, server.slo = request_log, slo
+                obs_rounds.append(timed_round(server))
+        finally:
+            server.close()
+            request_log.close()
+
+    plain_seconds = min(plain_rounds)
+    obs_seconds = min(obs_rounds)
+    overhead = (
+        100.0 * (obs_seconds - plain_seconds) / plain_seconds
+        if plain_seconds else 0.0
+    )
+    return {
+        "plain": plain_seconds,
+        "obs": obs_seconds,
+        "overhead_pct": overhead,
+    }
 
 
 def run_serve_benchmark(
@@ -105,6 +194,10 @@ def run_serve_benchmark(
         cache_stats = session.cache.stats()
         session_stats = session.stats()
 
+    # ---- served: the warm plan through the request path, obs off/on --
+    with tempfile.TemporaryDirectory(prefix="pincer-bench-serve-") as tmpdir:
+        served = _measure_served_overhead(db, plan, engine, database, tmpdir)
+
     def mean(values: Sequence[float]) -> float:
         return sum(values) / len(values) if values else 0.0
 
@@ -124,6 +217,9 @@ def run_serve_benchmark(
         "mfs_identical": True,  # asserted above, per query
         "seconds_cold_mean": round(mean_cold, 6),
         "seconds_warm_repeat_mean": round(mean_warm_repeat, 6),
+        "seconds_warm_serve_plain_mean": round(served["plain"], 6),
+        "seconds_warm_serve_obs_mean": round(served["obs"], 6),
+        "overhead_warm_obs_pct": round(served["overhead_pct"], 3),
         "speedup_warm_repeat_vs_cold": round(speedup, 3),
         "warm_repeat_queries_per_second": round(
             1.0 / mean_warm_repeat, 3
@@ -176,6 +272,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--min-speedup", type=float, default=None, metavar="X",
         help="exit nonzero unless warm repeats beat cold by X",
     )
+    parser.add_argument(
+        "--max-obs-overhead", type=float, default=None, metavar="PCT",
+        help="exit nonzero if the query-plane observability overhead "
+        "on warm served queries exceeds PCT percent",
+    )
     args = parser.parse_args(argv)
     supports = tuple(args.min_support) if args.min_support else DEFAULT_SUPPORTS
 
@@ -186,19 +287,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         scale=args.scale,
         engine=args.engine,
     )
-    print(json.dumps(record, indent=2, sort_keys=True))
+    sys.stdout.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
     if args.out:
         write_serve_benchmark(record, args.out)
-        print("wrote %s" % args.out, file=sys.stderr)
+        sys.stderr.write("wrote %s\n" % args.out)
     record_run(record, args.trajectory)
     if (
         args.min_speedup is not None
         and record["speedup_warm_repeat_vs_cold"] < args.min_speedup
     ):
-        print(
-            "FAIL: warm repeat speedup %.2fx below required %.2fx"
-            % (record["speedup_warm_repeat_vs_cold"], args.min_speedup),
-            file=sys.stderr,
+        sys.stderr.write(
+            "FAIL: warm repeat speedup %.2fx below required %.2fx\n"
+            % (record["speedup_warm_repeat_vs_cold"], args.min_speedup)
+        )
+        return 1
+    if (
+        args.max_obs_overhead is not None
+        and record["overhead_warm_obs_pct"] > args.max_obs_overhead
+    ):
+        sys.stderr.write(
+            "FAIL: query-plane obs overhead %.2f%% above allowed %.2f%%\n"
+            % (record["overhead_warm_obs_pct"], args.max_obs_overhead)
         )
         return 1
     return 0

@@ -11,14 +11,19 @@ Subcommands cover the end-to-end workflow:
 * ``rules``    — mine and then emit association rules (MFS-first);
 * ``serve``    — hold one database resident (engine attached, support
   cache warm) and answer line-delimited JSON mining queries on a unix
-  socket with admission control;
+  socket with admission control, request-scoped tracing (``--trace``),
+  a schema-v4 JSONL access log with a slow-query snapshot ring
+  (``--access-log``), rolling SLO metrics behind the ``metrics`` wire
+  op, and per-query ``eta_seconds`` on every reply;
 * ``bench``    — run one of the paper's experiments and print its rows
   (``bench regress`` gates the recorded bench trajectory instead);
 * ``obs``      — work with recorded traces and live runs: ``obs export``
   converts a trace or metrics file for Perfetto/Prometheus, ``obs
-  report`` prints a span-tree profile with wall/CPU/memory columns, and
-  ``obs top`` attaches a live per-shard console to a mine started with
-  ``--telemetry NAME``.
+  report`` prints a span-tree profile with wall/CPU/memory columns
+  (``--request ID`` isolates one serve query, ``--requests`` lists the
+  ids), and ``obs top`` attaches a live per-shard console to a mine
+  started with ``--telemetry NAME`` and/or a serve daemon's query plane
+  with ``--serve SOCKET``.
 
 Run ``pincer <subcommand> --help`` for the full flag list.
 """
@@ -406,7 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs_top = obs_sub.add_parser(
         "top",
         help="live per-shard console over a running mine's telemetry "
-        "segment (started with --telemetry NAME)",
+        "segment (started with --telemetry NAME) and/or a serve "
+        "daemon's query plane (--serve SOCKET)",
         add_help=False,
     )
     obs_top.add_argument("rest", nargs=argparse.REMAINDER)

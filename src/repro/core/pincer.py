@@ -232,11 +232,15 @@ class PincerSearch:
                             batch[element] = None
                     count_started = time.perf_counter()
                     supports.update(engine.count(db, batch))
-                    engine.note_pass_rate(
-                        rate_estimator.observe(
-                            len(batch), time.perf_counter() - count_started
-                        )
+                    pass_rate = rate_estimator.observe(
+                        len(batch), time.perf_counter() - count_started
                     )
+                    engine.note_pass_rate(pass_rate)
+                    if obs.enabled and pass_rate is not None:
+                        # the same EWMA the shard scheduler consults,
+                        # mirrored for the metrics document / serve's
+                        # Prometheus exposition
+                        obs.gauge("miner.pass_rate").set(round(pass_rate, 3))
                     pass_stats.bottom_up_candidates = len(uncounted_candidates)
                     # MFCS elements counted this pass (an element that
                     # doubles as a bottom-up candidate is billed once, as
@@ -287,6 +291,7 @@ class PincerSearch:
                     bound = candidate_upper_bound(len(level_frequents), k)
                     if obs.enabled:
                         pass_span.set(candidate_bound=bound)
+                        obs.gauge("miner.candidate_bound").set(bound)
                     # engines with a live telemetry plane publish the
                     # bound so `pincer obs top` can show an honest ETA
                     engine.note_candidate_bound(bound)

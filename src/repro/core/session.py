@@ -28,14 +28,15 @@ layer up, in :mod:`repro.serve`.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from ..db.counting import resolve_counter
 from ..db.transaction_db import TransactionDatabase
 from ..obs.instrument import NOOP, Instrumentation
 from ..rules.from_mfs import expand_mfs_supports
 from ..rules.generation import AssociationRule, generate_rules
-from .adaptive import AdaptivePolicy
+from .adaptive import AdaptivePolicy, PassRateEstimator
 from .bitset import ItemUniverse, candidate_upper_bound
 from .itemset import Itemset
 from .pincer import PincerSearch, resolve_threshold
@@ -114,6 +115,13 @@ class MiningSession:
         self.closed = False
         self.queries = 0
         self.warm_queries = 0
+        #: EWMA of the *data-plane* counting throughput across queries
+        #: (candidates actually counted by the engine per wall-clock
+        #: second of mining).  Fed only when a query's passes reached the
+        #: engine — all-cache warm queries resolve at memory speed and
+        #: would otherwise inflate the rate the serve front-end divides
+        #: candidate bounds by for its ETAs.
+        self.rate = PassRateEstimator(alpha=0.3)
 
     # ------------------------------------------------------------------
     # queries
@@ -125,6 +133,9 @@ class MiningSession:
         *,
         min_count: Optional[int] = None,
         warm_start: bool = True,
+        request_id: Optional[str] = None,
+        span_sink: Optional[List[Dict[str, Any]]] = None,
+        timings: Optional[Dict[str, float]] = None,
     ) -> MiningResult:
         """Answer one max-frequent-set query against the warm session.
 
@@ -133,18 +144,42 @@ class MiningSession:
         and the warm seed only replaces the full-universe MFCS with a
         family satisfying the same invariants (see
         :meth:`PincerSearch.mine` on ``initial_mfcs``).
+
+        ``request_id`` stamps every span of this query (via the
+        tracer's ambient binding — applied *inside* the query lock, so
+        concurrent callers can never contaminate each other's spans);
+        ``span_sink`` collects the query's closed span events for the
+        caller (the serve slow-query recorder); ``timings`` receives
+        ``queue_wait_s``, the time spent waiting for the session lock —
+        the honest queue-wait a serve access log should report.
         """
         threshold, _ = resolve_threshold(self.db, min_support, min_count)
+        wait_started = time.perf_counter()
         with self._lock:
+            if timings is not None:
+                timings["queue_wait_s"] = timings.get("queue_wait_s", 0.0) + (
+                    time.perf_counter() - wait_started
+                )
             self._ensure_open()
             seed = self._warm_seed(threshold) if warm_start else None
-            result = self._miner.mine(
-                self.db,
-                min_count=threshold,
-                counter=self.counter,
-                obs=self.obs,
-                initial_mfcs=seed,
-            )
+            misses_before = self.cache.misses
+            mine_started = time.perf_counter()
+            with self.obs.bind(sink=span_sink, request_id=request_id):
+                result = self._miner.mine(
+                    self.db,
+                    min_count=threshold,
+                    counter=self.counter,
+                    obs=self.obs,
+                    initial_mfcs=seed,
+                )
+            counted = self.cache.misses - misses_before
+            if counted > 0:
+                # data-plane throughput only (see ``self.rate``); the
+                # whole mine's wall clock makes this a conservative rate,
+                # so ETAs derived from it err long, never short
+                self.rate.observe(
+                    counted, time.perf_counter() - mine_started
+                )
             self._mined[threshold] = result.mfs
             self.queries += 1
             if seed is not None:
@@ -158,21 +193,37 @@ class MiningSession:
         min_count: Optional[int] = None,
         min_confidence: float = 0.8,
         depth: Optional[int] = 2,
+        request_id: Optional[str] = None,
+        span_sink: Optional[List[Dict[str, Any]]] = None,
+        timings: Optional[Dict[str, float]] = None,
     ) -> List[AssociationRule]:
         """Stage-2 rules at a threshold, reusing the session's cache.
 
         Mines (warm) first, then expands MFS-subset supports through the
         cached counter, so repeated rule queries at nearby thresholds
-        re-count almost nothing.
+        re-count almost nothing.  ``request_id`` / ``span_sink`` /
+        ``timings`` behave as in :meth:`mine` and cover both phases.
         """
-        result = self.mine(min_support, min_count=min_count)
+        result = self.mine(
+            min_support,
+            min_count=min_count,
+            request_id=request_id,
+            span_sink=span_sink,
+            timings=timings,
+        )
         if depth is None:
             depth = max((len(member) for member in result.mfs), default=0)
+        wait_started = time.perf_counter()
         with self._lock:
+            if timings is not None:
+                timings["queue_wait_s"] = timings.get("queue_wait_s", 0.0) + (
+                    time.perf_counter() - wait_started
+                )
             self._ensure_open()
-            supports = expand_mfs_supports(
-                self.db, result, depth, counter=self.counter
-            )
+            with self.obs.bind(sink=span_sink, request_id=request_id):
+                supports = expand_mfs_supports(
+                    self.db, result, depth, counter=self.counter
+                )
         return generate_rules(
             supports,
             num_transactions=result.num_transactions,
@@ -236,6 +287,9 @@ class MiningSession:
             "cache": self.cache.stats(),
             "passes": self.counter.passes,
             "records_read": self.counter.records_read,
+            "counting_rate": (
+                round(self.rate.rate, 3) if self.rate.rate is not None else None
+            ),
         }
 
     def close(self) -> None:

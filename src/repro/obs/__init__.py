@@ -26,7 +26,13 @@ Zero-dependency observability for the miners and counting engines:
 * :mod:`repro.obs.watchdog` — the stall watchdog that turns silent
   heartbeats into ``shard_stalled`` events and mid-pass reassignment;
 * :mod:`repro.obs.top` — the ``pincer obs top`` live operator console
-  over a telemetry segment.
+  over a telemetry segment and/or a serve daemon (``--serve SOCKET``);
+* :mod:`repro.obs.requestlog` — the query plane's JSONL access log
+  (schema v4 ``request`` records) and the bounded slow-query snapshot
+  ring ``pincer serve --access-log`` writes;
+* :mod:`repro.obs.slo` — the rolling-window SLO ring (windowed
+  p50/p95/p99 latency, QPS, rejection/cache-hit rates) behind the
+  serve ``metrics`` wire op.
 
 Everything is off by default and near-zero-cost when disabled; see
 DESIGN.md's "Observability" section for the span hierarchy and the event
@@ -46,17 +52,22 @@ from .metrics import (
     NULL_INSTRUMENT,
     NullRegistry,
 )
+from .requestlog import RequestLog, SlowQueryRing
 from .schema import (
     SCHEMA_VERSION,
     SUPPORTED_VERSIONS,
     SchemaError,
     validate_metrics_document,
     validate_metrics_file,
+    validate_request_log_file,
+    validate_request_log_lines,
+    validate_request_record,
     validate_stats_document,
     validate_trace_event,
     validate_trace_file,
     validate_trace_lines,
 )
+from .slo import SloWindow
 from .telemetry import (
     EngineTelemetry,
     HeartbeatRecord,
@@ -88,10 +99,13 @@ __all__ = [
     "NullRegistry",
     "ProgressReporter",
     "ROOT_LOGGER_NAME",
+    "RequestLog",
     "SCHEMA_VERSION",
     "SUPPORTED_VERSIONS",
     "SamplingProfiler",
     "SchemaError",
+    "SloWindow",
+    "SlowQueryRing",
     "Span",
     "SpanProfiler",
     "StallEvent",
@@ -111,6 +125,9 @@ __all__ = [
     "trace_to_perfetto",
     "validate_metrics_document",
     "validate_metrics_file",
+    "validate_request_log_file",
+    "validate_request_log_lines",
+    "validate_request_record",
     "validate_stats_document",
     "validate_trace_event",
     "validate_trace_file",

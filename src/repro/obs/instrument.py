@@ -68,6 +68,12 @@ class Instrumentation:
     def span(self, name: str, **attrs: Any) -> Union[Span, NoopSpan]:
         return self.tracer.span(name, **attrs)
 
+    def bind(self, sink: Optional[list] = None, **attrs: Any):
+        """Ambient span context (see :meth:`Tracer.bind`): a context
+        manager stamping ``attrs`` on every span opened inside it and
+        collecting closed span events into ``sink`` when given."""
+        return self.tracer.bind(sink=sink, **attrs)
+
     def counter(self, name: str) -> Counter:
         return self.metrics.counter(name)
 
@@ -106,6 +112,9 @@ class _NoopInstrumentation(Instrumentation):
         )
 
     def span(self, name: str, **attrs: Any) -> NoopSpan:
+        return NOOP_SPAN
+
+    def bind(self, sink: Optional[list] = None, **attrs: Any) -> NoopSpan:
         return NOOP_SPAN
 
     def counter(self, name: str) -> Counter:

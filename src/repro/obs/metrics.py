@@ -138,6 +138,13 @@ class Histogram:
         return float(ordered[rank])
 
     @property
+    def samples(self) -> List[Number]:
+        """A copy of the reservoir sample.  Merged views — the rolling
+        SLO window concatenating its buckets' reservoirs — need the raw
+        values; moments alone cannot be re-ranked."""
+        return list(self._sample)
+
+    @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 

@@ -14,6 +14,12 @@ two filled in when the trace was recorded with ``--profile``)::
 followed by the top-N slowest spans ranked by *self* time (wall-clock
 minus direct children), which is where "where did the time go" questions
 actually end.
+
+A trace recorded by ``pincer serve --trace`` interleaves many queries
+into one file; every span of a served query carries its ``request_id``
+attribute.  ``--requests`` lists the ids present (with span counts and
+wall-clock per request), and ``--request ID`` filters the tree down to
+one query's spans.
 """
 
 from __future__ import annotations
@@ -22,7 +28,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .export import load_trace_events
 
-__all__ = ["build_span_tree", "render_report"]
+__all__ = [
+    "build_span_tree",
+    "filter_request",
+    "group_requests",
+    "render_report",
+    "render_requests",
+]
 
 #: span attrs worth showing inline in the tree label
 _LABEL_ATTRS = ("algorithm", "k", "engine", "miner", "command", "database")
@@ -80,6 +92,67 @@ def build_span_tree(
         else:
             roots.append(node)
     return roots, nodes
+
+
+def filter_request(
+    events: List[Dict[str, Any]], request_id: str
+) -> List[Dict[str, Any]]:
+    """Only the span events carrying ``request_id`` (plus non-span lines)."""
+    return [
+        event
+        for event in events
+        if event.get("type") != "span"
+        or event.get("attrs", {}).get("request_id") == request_id
+    ]
+
+
+def group_requests(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-request summary of a serve trace, keyed by request id.
+
+    Each entry reports the span count, the set of root span names (the
+    ops the request ran), and the summed wall-clock of its root spans.
+    """
+    roots, nodes = build_span_tree(events)
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for node in nodes:
+        request_id = node.attrs.get("request_id")
+        if not isinstance(request_id, str):
+            continue
+        summary = summaries.setdefault(
+            request_id, {"spans": 0, "roots": [], "wall_s": 0.0, "ts": None}
+        )
+        summary["spans"] += 1
+        if summary["ts"] is None or node.event.get("ts", 0.0) < summary["ts"]:
+            summary["ts"] = node.event.get("ts", 0.0)
+    for root in roots:
+        request_id = root.attrs.get("request_id")
+        if not isinstance(request_id, str) or request_id not in summaries:
+            continue
+        summaries[request_id]["roots"].append(root.name)
+        summaries[request_id]["wall_s"] += root.dur
+    return summaries
+
+
+def render_requests(events: List[Dict[str, Any]]) -> str:
+    """One row per request id found in the trace."""
+    summaries = group_requests(events)
+    if not summaries:
+        return "no request-scoped spans in this trace"
+    lines = ["%-28s %6s %10s  %s" % ("request", "spans", "wall(s)", "roots")]
+    lines.append("-" * len(lines[0]))
+    for request_id, summary in sorted(
+        summaries.items(), key=lambda item: item[1]["ts"] or 0.0
+    ):
+        lines.append(
+            "%-28s %6d %10.4f  %s"
+            % (
+                request_id,
+                summary["spans"],
+                summary["wall_s"],
+                ",".join(summary["roots"]) or "-",
+            )
+        )
+    return "\n".join(lines)
 
 
 def _walk(node: SpanNode, depth: int, rows: List[Tuple[int, SpanNode]]) -> None:
@@ -154,12 +227,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-rows", type=int, default=200,
         help="tree row cap for very large traces",
     )
+    parser.add_argument(
+        "--request", default=None, metavar="ID",
+        help="only render spans of one serve request id",
+    )
+    parser.add_argument(
+        "--requests", action="store_true",
+        help="list the request ids present in the trace and exit",
+    )
     args = parser.parse_args(argv)
     try:
         events = load_trace_events(args.trace)
     except (OSError, ValueError) as exc:
         sys.stderr.write("cannot read trace: %s\n" % exc)
         return 1
+    if args.requests:
+        sys.stdout.write(render_requests(events) + "\n")
+        return 0
+    if args.request is not None:
+        events = filter_request(events, args.request)
     sys.stdout.write(
         render_report(events, top=args.top, max_rows=args.max_rows) + "\n"
     )

@@ -7,7 +7,7 @@ that emits a malformed line.  The validators here are deliberately
 zero-dependency (no ``jsonschema``): each one is a plain function that
 raises :class:`SchemaError` with a precise message on the first violation.
 
-Three document families share the version number :data:`SCHEMA_VERSION`:
+Four document families share the version number :data:`SCHEMA_VERSION`:
 
 ``span`` / ``meta`` events (one JSON object per line of a ``--trace`` file)
     A *trace* is a JSONL stream.  The first line is a ``meta`` event
@@ -57,9 +57,22 @@ Three document families share the version number :data:`SCHEMA_VERSION`:
     The per-run accounting the figures are built from, round-trippable
     via ``MiningStats.from_dict``.
 
+``request`` records (schema v4, one JSONL line per served query)
+    The access log :mod:`repro.obs.requestlog` writes for the query
+    plane of ``pincer serve``.  Required fields: ``v``, ``type``
+    (``"request"``), ``ts``, ``id`` (the wire request id), ``op``
+    (``"mine"`` or ``"rules"``), ``ok``, ``admitted`` (bools), and
+    ``seconds``.  Optional typed fields cover the admission price
+    (``cost``, ``warm``, ``threshold``), queueing (``queue_wait_s``),
+    work done (``passes``, ``cache_hits``, ``cache_misses``,
+    ``result_size``), the ETA quoted to the client (``eta_s``, nullable
+    until the rate estimator calibrates), and ``error``.  All values
+    must be flat scalars — one query, one line, greppable forever.
+
 Run as a module to validate files (the CI observability smoke job)::
 
-    python -m repro.obs.schema run.jsonl --metrics m.json
+    python -m repro.obs.schema run.jsonl --metrics m.json \
+        --requests access.jsonl
 """
 
 from __future__ import annotations
@@ -73,13 +86,14 @@ from typing import Any, Dict, Iterable, List, Optional
 #: ``stddev`` fields in metrics documents.  v3 added the live telemetry
 #: plane: ``telemetry`` and ``shard_stalled`` trace-event types and
 #: histogram ``p50``/``p95``/``p99`` reservoir percentiles in metrics
-#: documents.
-SCHEMA_VERSION = 3
+#: documents.  v4 added the query plane: ``request`` access-log records
+#: and the ``request_id`` span attribute serve queries are grouped by.
+SCHEMA_VERSION = 4
 
 #: Versions the validators accept: traces recorded by earlier releases
 #: must keep validating (backward compatibility is the point of the
 #: version field).
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: The ``kind`` values a ``shard_stalled`` event may carry: a worker
 #: whose process is gone versus one that is alive but no longer beating.
@@ -317,6 +331,118 @@ def validate_stats_document(document: Dict[str, Any]) -> None:
                 )
 
 
+#: The wire ops an access-log record may describe (control ops — ping,
+#: stats, metrics, shutdown — are not queries and are not logged).
+REQUEST_OPS = ("mine", "rules")
+
+#: Optional ``request`` record fields that must be non-negative ints.
+_REQUEST_INT_FIELDS = (
+    "cost", "passes", "cache_hits", "cache_misses", "result_size",
+    "threshold",
+)
+
+#: Optional ``request`` record fields that must be non-negative numbers.
+_REQUEST_NUMBER_FIELDS = ("queue_wait_s", "min_support")
+
+
+def validate_request_record(record: Dict[str, Any]) -> None:
+    """Validate one access-log line (schema v4 ``request`` records)."""
+    _require_version(record, "request record")
+    _require(
+        record["v"] >= 4,
+        "request records require schema v4, got v%r" % record.get("v"),
+    )
+    _require(
+        record.get("type") == "request",
+        "request record type must be 'request', got %r" % record.get("type"),
+    )
+    _require(
+        isinstance(record.get("ts"), (int, float)),
+        "request ts must be a number",
+    )
+    _require(
+        isinstance(record.get("id"), str) and bool(record["id"]),
+        "request id must be a non-empty str",
+    )
+    _require(
+        record.get("op") in REQUEST_OPS,
+        "request op must be one of %s, got %r"
+        % (list(REQUEST_OPS), record.get("op")),
+    )
+    for key in ("ok", "admitted"):
+        _require(
+            isinstance(record.get(key), bool),
+            "request %s must be a bool" % key,
+        )
+    seconds = record.get("seconds")
+    _require(
+        isinstance(seconds, (int, float))
+        and not isinstance(seconds, bool)
+        and seconds >= 0,
+        "request seconds must be a number >= 0",
+    )
+    for key in _REQUEST_INT_FIELDS:
+        if key in record:
+            _require(
+                isinstance(record[key], int)
+                and not isinstance(record[key], bool)
+                and record[key] >= 0,
+                "request %s must be an int >= 0" % key,
+            )
+    for key in _REQUEST_NUMBER_FIELDS:
+        if key in record:
+            _require(
+                isinstance(record[key], (int, float))
+                and not isinstance(record[key], bool)
+                and record[key] >= 0,
+                "request %s must be a number >= 0" % key,
+            )
+    if "eta_s" in record:
+        eta = record["eta_s"]
+        _require(
+            eta is None
+            or (
+                isinstance(eta, (int, float))
+                and not isinstance(eta, bool)
+                and eta >= 0
+            ),
+            "request eta_s must be a number >= 0 or null",
+        )
+    if "warm" in record:
+        _require(isinstance(record["warm"], bool), "request warm must be a bool")
+    if "error" in record:
+        _require(isinstance(record["error"], str), "request error must be str")
+    _require_scalar_attrs(
+        {k: v for k, v in record.items() if k not in ("v", "type")},
+        "request",
+    )
+
+
+def validate_request_log_lines(lines: Iterable[str]) -> int:
+    """Validate a JSONL access log; returns the number of records."""
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError("line %d is not JSON: %s" % (number, exc)) from None
+        try:
+            validate_request_record(record)
+        except SchemaError as exc:
+            raise SchemaError("line %d: %s" % (number, exc)) from None
+        count += 1
+    return count
+
+
+def validate_request_log_file(path: str) -> int:
+    """Validate an access-log file on disk; returns the record count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_request_log_lines(handle)
+
+
 def validate_trace_lines(lines: Iterable[str]) -> int:
     """Validate a JSONL trace stream; returns the number of events.
 
@@ -371,9 +497,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics", action="append", default=[], metavar="PATH",
         help="metrics JSON documents (repeatable)",
     )
+    parser.add_argument(
+        "--requests", action="append", default=[], metavar="PATH",
+        help="JSONL access logs from 'pincer serve' (repeatable)",
+    )
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("give at least one trace or --metrics file")
+    if not args.trace and not args.metrics and not args.requests:
+        parser.error("give at least one trace, --metrics or --requests file")
     try:
         for path in args.trace:
             events = validate_trace_file(path)
@@ -381,6 +511,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for path in args.metrics:
             validate_metrics_file(path)
             sys.stderr.write("%s: metrics ok\n" % path)
+        for path in args.requests:
+            records = validate_request_log_file(path)
+            sys.stderr.write("%s: %d request records ok\n" % (path, records))
     except (SchemaError, OSError) as exc:
         sys.stderr.write("invalid: %s\n" % exc)
         return 1

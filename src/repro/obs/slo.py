@@ -1,0 +1,199 @@
+"""Rolling-window SLO metrics for the serve query plane.
+
+A cumulative :class:`~repro.obs.metrics.Histogram` answers "p99 since
+the daemon started", but an operator paging on an SLO needs "p99 over
+the last five minutes".  :class:`SloWindow` gives the windowed view with
+the instruments that already exist: a ring of ``buckets`` epoch-stamped
+slots, each holding one :class:`Histogram` (latency) plus plain counters
+(queries, rejections, errors, cache hits/misses).  Each observation
+lands in the slot for ``now // bucket_seconds``; a slot whose stored
+epoch is stale is lazily reset on first touch, so rotation costs nothing
+when the server is idle and there is no background thread to leak.
+
+:meth:`SloWindow.snapshot` merges the live buckets: counts are summed,
+latency moments (count/total/min/max/sumsq) combine exactly, and the
+percentiles are nearest-rank over the *concatenated* reservoir samples
+of the live buckets — a uniform-enough sample of the window, and the
+only way to get a windowed tail without keeping every observation.
+
+The clock is injectable (``clock=time.monotonic`` by default) so
+rotation is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .metrics import Histogram
+
+__all__ = ["SloWindow"]
+
+#: Default window: the "last five minutes" an on-call page talks about.
+DEFAULT_WINDOW_SECONDS = 300.0
+
+#: Default bucket count: 30-second resolution at the default window.
+DEFAULT_BUCKETS = 10
+
+
+class _Bucket:
+    """One ring slot: an epoch stamp plus that interval's instruments."""
+
+    __slots__ = (
+        "epoch", "latency", "queries", "rejected", "errors",
+        "cache_hits", "cache_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset(-1)
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.latency = Histogram()
+        self.queries = 0
+        self.rejected = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+def _nearest_rank(ordered: List[float], p: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+    return float(ordered[rank])
+
+
+class SloWindow:
+    """Windowed p50/p95/p99 latency, QPS, rejection and cache-hit rates.
+
+    All mutation goes through :meth:`observe` under one lock — the serve
+    handlers call it once per query, which is nowhere near contention.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        buckets: int = DEFAULT_BUCKETS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if buckets < 1:
+            raise ValueError("buckets must be positive")
+        self.window_seconds = float(window_seconds)
+        self.num_buckets = int(buckets)
+        self.bucket_seconds = self.window_seconds / self.num_buckets
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slots = [_Bucket() for _ in range(self.num_buckets)]
+        self._started = clock()
+
+    # ------------------------------------------------------------------
+
+    def _bucket(self, now: float) -> _Bucket:
+        epoch = int(now // self.bucket_seconds)
+        slot = self._slots[epoch % self.num_buckets]
+        if slot.epoch != epoch:
+            slot.reset(epoch)
+        return slot
+
+    def observe(
+        self,
+        seconds: Optional[float] = None,
+        rejected: bool = False,
+        error: bool = False,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        now: Optional[float] = None,
+    ) -> None:
+        """Record one query outcome into the current bucket.
+
+        ``rejected=True`` counts a shed query (no latency observed);
+        otherwise the query counts as answered and ``seconds`` (when
+        given) feeds the latency histogram.  ``error=True`` marks a
+        query that raised after admission.
+        """
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            bucket = self._bucket(now)
+            if rejected:
+                bucket.rejected += 1
+            else:
+                bucket.queries += 1
+                if seconds is not None:
+                    bucket.latency.observe(seconds)
+            if error:
+                bucket.errors += 1
+            bucket.cache_hits += cache_hits
+            bucket.cache_misses += cache_misses
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The merged windowed view (see the module docstring)."""
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            current_epoch = int(now // self.bucket_seconds)
+            oldest_epoch = current_epoch - self.num_buckets + 1
+            live = [
+                slot
+                for slot in self._slots
+                if oldest_epoch <= slot.epoch <= current_epoch
+            ]
+            queries = sum(slot.queries for slot in live)
+            rejected = sum(slot.rejected for slot in live)
+            errors = sum(slot.errors for slot in live)
+            cache_hits = sum(slot.cache_hits for slot in live)
+            cache_misses = sum(slot.cache_misses for slot in live)
+            count = sum(slot.latency.count for slot in live)
+            total = sum(slot.latency.total for slot in live)
+            sumsq = sum(slot.latency.sumsq for slot in live)
+            nonempty = [slot.latency for slot in live if slot.latency.count]
+            minimum = min((h.min for h in nonempty), default=0.0)
+            maximum = max((h.max for h in nonempty), default=0.0)
+            samples: List[float] = []
+            for histogram in nonempty:
+                samples.extend(histogram.samples)
+            samples.sort()
+            # how much of the window has actually elapsed: a daemon ten
+            # seconds old must not divide ten queries by five minutes
+            covered = min(self.window_seconds, max(now - self._started, 0.0))
+            covered = max(covered, 1e-9)
+        mean = total / count if count else 0.0
+        variance = sumsq / count - mean * mean if count else 0.0
+        attempted = queries + rejected
+        return {
+            "window_seconds": self.window_seconds,
+            "bucket_seconds": self.bucket_seconds,
+            "covered_seconds": round(covered, 3),
+            "queries": queries,
+            "rejected": rejected,
+            "errors": errors,
+            "qps": round(queries / covered, 6),
+            "rejection_rate": round(
+                rejected / attempted, 6
+            ) if attempted else 0.0,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cache_hit_rate": round(
+                cache_hits / (cache_hits + cache_misses), 6
+            ) if cache_hits + cache_misses else 0.0,
+            "latency": {
+                "count": count,
+                "total": round(total, 9),
+                "min": minimum,
+                "max": maximum,
+                "sumsq": sumsq,
+                "stddev": round(
+                    math.sqrt(variance) if variance > 0 else 0.0, 9
+                ),
+                "p50": round(_nearest_rank(samples, 50.0), 9),
+                "p95": round(_nearest_rank(samples, 95.0), 9),
+                "p99": round(_nearest_rank(samples, 99.0), 9),
+            },
+        }

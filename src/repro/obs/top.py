@@ -17,9 +17,17 @@ the refresh count (``--frames 1`` prints one plain frame and exits —
 scripts and tests use this), ``--no-ansi`` disables cursor control for
 dumb terminals and log capture.
 
+``--serve SOCKET`` additionally (or instead) polls a running ``pincer
+serve`` daemon's ``stats`` op each frame and renders the query plane:
+windowed qps and p50/p95/p99 latency, rejection and cache-hit rates,
+in-flight cost against the admission budget, and the daemon vitals the
+``stats`` op carries.  With both a segment name and ``--serve``, the
+serve panel renders above the worker rows.
+
 Run as a module::
 
     python -m repro.obs.top pincer-live --interval 0.5
+    python -m repro.obs.top --serve /tmp/pincer.sock --frames 1 --no-ansi
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from .telemetry import (
     TelemetryReader,
 )
 
-__all__ = ["TopConsole", "format_frame", "main"]
+__all__ = ["TopConsole", "format_frame", "format_serve_frame", "main"]
 
 _BAR_WIDTH = 16
 _ANSI_HOME = "\x1b[H"
@@ -167,18 +175,93 @@ def format_frame(name: str, sample: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _human_ms(seconds: Any) -> str:
+    if not isinstance(seconds, (int, float)):
+        return "-"
+    if seconds >= 1.0:
+        return "%.2fs" % seconds
+    return "%.1fms" % (seconds * 1000.0)
+
+
+def format_serve_frame(socket_path: str, stats: Dict[str, Any]) -> str:
+    """Render one ``stats`` reply from a serve daemon as a panel."""
+    if not stats.get("ok"):
+        return "pincer serve — %s — no stats (%s)" % (
+            socket_path, stats.get("error", "unreachable")
+        )
+    vitals = stats.get("vitals", {})
+    slo = stats.get("slo") or {}
+    latency = slo.get("latency", {})
+    lines = [
+        "pincer serve — %s — pid %s — engine %s — up %.0fs"
+        % (
+            socket_path,
+            vitals.get("pid", "?"),
+            vitals.get("engine", "?"),
+            vitals.get("uptime_seconds", 0.0),
+        ),
+        "  snapshot %s  served %s  rejected %s"
+        % (
+            vitals.get("snapshot", "?"),
+            stats.get("served", 0),
+            stats.get("rejected", 0),
+        ),
+    ]
+    if slo:
+        lines.append(
+            "  window %ds: qps %.2f  p50 %s  p95 %s  p99 %s"
+            % (
+                int(slo.get("window_seconds", 0)),
+                slo.get("qps", 0.0),
+                _human_ms(latency.get("p50")),
+                _human_ms(latency.get("p95")),
+                _human_ms(latency.get("p99")),
+            )
+        )
+        lines.append(
+            "  reject %.1f%%  cache hit %.1f%%  errors %d"
+            % (
+                100.0 * slo.get("rejection_rate", 0.0),
+                100.0 * slo.get("cache_hit_rate", 0.0),
+                slo.get("errors", 0),
+            )
+        )
+    budget = vitals.get("cost_budget") or 0
+    inflight = vitals.get("inflight_cost", 0)
+    rate = vitals.get("counting_rate")
+    lines.append(
+        "  inflight %s queries / %s cost |%s| budget %s  rate %s"
+        % (
+            vitals.get("inflight_queries", 0),
+            inflight,
+            _bar(inflight / budget if budget else 0.0),
+            budget,
+            _human_rate(rate) if isinstance(rate, (int, float)) else "(uncal)",
+        )
+    )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.obs.top`` / ``pincer obs top`` entry point."""
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="pincer obs top",
-        description="live per-shard console over a telemetry segment",
+        description="live per-shard console over a telemetry segment "
+        "and/or a serve daemon",
     )
     parser.add_argument(
         "name",
+        nargs="?",
+        default=None,
         help="telemetry segment name (logged by the engine, or pinned "
         "with --telemetry NAME)",
+    )
+    parser.add_argument(
+        "--serve", default=None, metavar="SOCKET",
+        help="also poll a 'pincer serve' daemon's stats op and render "
+        "its query plane (qps, windowed latency, inflight cost)",
     )
     parser.add_argument(
         "--plane", choices=("shm", "file"), default=None,
@@ -198,12 +281,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="plain frames, no cursor control (logs, dumb terminals)",
     )
     args = parser.parse_args(argv)
-    try:
-        reader = TelemetryReader.attach(args.name, plane=args.plane)
-    except (FileNotFoundError, OSError, ValueError) as exc:
-        sys.stderr.write("pincer obs top: cannot attach %r: %s\n" % (args.name, exc))
-        return 1
-    console = TopConsole(reader)
+    if args.name is None and args.serve is None:
+        parser.error("give a telemetry segment name and/or --serve SOCKET")
+    reader = None
+    console = None
+    if args.name is not None:
+        try:
+            reader = TelemetryReader.attach(args.name, plane=args.plane)
+        except (FileNotFoundError, OSError, ValueError) as exc:
+            sys.stderr.write(
+                "pincer obs top: cannot attach %r: %s\n" % (args.name, exc)
+            )
+            return 1
+        console = TopConsole(reader)
+
+    def serve_panel() -> str:
+        from ..serve import request as serve_request
+
+        try:
+            stats = serve_request(args.serve, {"op": "stats"}, timeout=5.0)
+        except (OSError, ValueError) as exc:
+            stats = {"ok": False, "error": str(exc)}
+        return format_serve_frame(args.serve, stats)
+
     use_ansi = not args.no_ansi and args.frames != 1 and sys.stdout.isatty()
     frame = 0
     try:
@@ -211,7 +311,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stdout.write(_ANSI_CLEAR)
         while True:
             frame += 1
-            rendered = console.render(args.name)
+            parts: List[str] = []
+            if args.serve is not None:
+                parts.append(serve_panel())
+            if console is not None:
+                parts.append(console.render(args.name))
+            rendered = "\n".join(parts)
             if use_ansi:
                 rendered = _ANSI_HOME + rendered.replace(
                     "\n", _ANSI_ERASE_LINE + "\n"
@@ -224,7 +329,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
-        reader.close()
+        if reader is not None:
+            reader.close()
     return 0
 
 

@@ -19,6 +19,15 @@ The tracer is synchronous and single-writer by design: mining runs are
 single-threaded in the coordinating process (shard workers report numbers
 over their result channel instead of tracing directly), so a lock would
 buy nothing.
+
+:meth:`Tracer.bind` adds *ambient context*: a ``with tracer.bind(
+request_id=...)`` block stamps its attributes onto every span opened
+inside it (explicit span attributes win on collision), and optionally
+collects the closed span events into a caller-supplied list.  This is how
+the serve front-end threads one ``request_id`` through ``run > pass >
+{count, prune, mfcs_gen}`` without touching any miner signature — the
+session binds *inside* its query lock, so the single-writer contract
+extends to the ambient state too.
 """
 
 from __future__ import annotations
@@ -30,7 +39,15 @@ from typing import Any, Dict, IO, List, Optional
 
 from .schema import SCHEMA_VERSION
 
-__all__ = ["NOOP_SPAN", "NOOP_TRACER", "NoopSpan", "NoopTracer", "Span", "Tracer"]
+__all__ = [
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopSpan",
+    "NoopTracer",
+    "Span",
+    "TraceBinding",
+    "Tracer",
+]
 
 
 def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
@@ -88,6 +105,39 @@ class Span:
         self._tracer._close_span(self, time.perf_counter() - self._started)
 
 
+class TraceBinding:
+    """One active :meth:`Tracer.bind` scope; restores the prior scope on
+    exit, so bindings nest like the spans they decorate."""
+
+    __slots__ = ("_tracer", "_attrs", "_sink", "_saved")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        attrs: Dict[str, Any],
+        sink: Optional[List[Dict[str, Any]]],
+    ) -> None:
+        self._tracer = tracer
+        self._attrs = attrs
+        self._sink = sink
+        self._saved: Optional[tuple] = None
+
+    def __enter__(self) -> "TraceBinding":
+        tracer = self._tracer
+        self._saved = (tracer._ambient, tracer._collect)
+        merged = dict(tracer._ambient)
+        merged.update(self._attrs)
+        tracer._ambient = merged
+        if self._sink is not None:
+            tracer._collect = self._sink
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if self._saved is not None:
+            self._tracer._ambient, self._tracer._collect = self._saved
+            self._saved = None
+
+
 class Tracer:
     """JSONL span emitter; see the module docstring.
 
@@ -125,6 +175,10 @@ class Tracer:
         self._owns_sink = False
         self._stack: List[Span] = []
         self._next_id = 1
+        #: ambient attrs stamped onto every opened span (see :meth:`bind`)
+        self._ambient: Dict[str, Any] = {}
+        #: optional list collecting closed span events for the active bind
+        self._collect: Optional[List[Dict[str, Any]]] = None
         self.events_emitted = 0
         self.events_dropped = 0
         self.max_events = max_events
@@ -160,10 +214,32 @@ class Tracer:
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a child span of the innermost open span."""
         parent = self._stack[-1].span_id if self._stack else None
+        if self._ambient:
+            merged = dict(self._ambient)
+            merged.update(attrs)
+            attrs = merged
         span = Span(self, name, self._next_id, parent, dict(attrs))
         self._next_id += 1
         self._stack.append(span)
         return span
+
+    def bind(
+        self,
+        sink: Optional[List[Dict[str, Any]]] = None,
+        **attrs: Any,
+    ) -> TraceBinding:
+        """Scope ambient span context (a context manager).
+
+        Every span opened while the binding is entered carries ``attrs``
+        (explicit span attributes win on collision), and — when ``sink``
+        is given — every span *closed* inside the scope appends its
+        emitted event dict to that list, regardless of the trace-file
+        event cap.  ``None``-valued attrs are dropped rather than
+        stamped.  Bindings nest: an inner bind layers over (and on exit
+        restores) the outer scope.
+        """
+        cleaned = {k: v for k, v in attrs.items() if v is not None}
+        return TraceBinding(self, cleaned, sink)
 
     def emit_event(self, event_type: str, **fields: Any) -> None:
         """Emit a non-span event line (``progress`` reporters use this)."""
@@ -173,6 +249,8 @@ class Tracer:
             "ts": time.time(),
         }
         payload.update(_clean_attrs(fields))
+        for key, value in self._ambient.items():
+            payload.setdefault(key, value)
         self._emit(payload)
 
     def _close_span(self, span: Span, duration: float) -> None:
@@ -184,18 +262,19 @@ class Tracer:
             self._stack.pop()
         if self._stack:
             self._stack.pop()
-        self._emit(
-            {
-                "v": SCHEMA_VERSION,
-                "type": "span",
-                "span": span.span_id,
-                "parent": span.parent_id,
-                "name": span.name,
-                "ts": span.ts,
-                "dur": duration,
-                "attrs": _clean_attrs(span.attrs),
-            }
-        )
+        event = {
+            "v": SCHEMA_VERSION,
+            "type": "span",
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "ts": span.ts,
+            "dur": duration,
+            "attrs": _clean_attrs(span.attrs),
+        }
+        if self._collect is not None:
+            self._collect.append(event)
+        self._emit(event)
 
     def _emit(self, event: Dict[str, Any]) -> None:
         if self.max_events is not None and self.events_emitted >= self.max_events:
@@ -260,6 +339,13 @@ class NoopTracer:
     __slots__ = ()
 
     def span(self, name: str, **attrs: Any) -> NoopSpan:
+        return NOOP_SPAN
+
+    def bind(
+        self,
+        sink: Optional[List[Dict[str, Any]]] = None,
+        **attrs: Any,
+    ) -> NoopSpan:
         return NOOP_SPAN
 
     def emit_event(self, event_type: str, **fields: Any) -> None:

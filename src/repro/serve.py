@@ -8,7 +8,8 @@ one JSON object per line, both directions:
     {"op": "mine",  "min_support": 1.5}            -> MFS + query stats
     {"op": "rules", "min_support": 1.5,
      "min_confidence": 80, "depth": 2}             -> association rules
-    {"op": "stats"}                                -> session/cache stats
+    {"op": "stats"}                                -> session/daemon stats
+    {"op": "metrics"}                              -> Prometheus text
     {"op": "ping"}                                 -> {"ok": true}
     {"op": "shutdown"}                             -> stops the server
 
@@ -26,21 +27,40 @@ from cache).  A query whose price would push the in-flight total over
 the budget is rejected with ``{"ok": false, "error": "busy"}`` and a
 ``retry`` hint — except when nothing is in flight, where rejection
 would be a livelock, so the queue always drains.
+
+Query-plane observability: every ``mine``/``rules`` query gets a wire
+``request_id`` that is stamped onto all of its spans (one trace file,
+many interleaved queries — ``pincer obs report --request ID`` isolates
+one), one schema-v4 record in the JSONL access log
+(:class:`~repro.obs.requestlog.RequestLog`, ``--access-log``), and an
+observation in the rolling SLO window
+(:class:`~repro.obs.slo.SloWindow`) that powers the windowed
+p50/p95/p99 the ``metrics`` op exports.  Replies — including ``busy``
+rejections — carry ``eta_seconds``: the in-flight candidate-bound
+backlog divided by the session's EWMA data-plane counting rate, i.e.
+the admission price finally talking back to the client (null until the
+first counted pass calibrates the rate).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import socket
 import socketserver
+import sys
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .core.session import MiningSession
+from .obs.export import metrics_to_prometheus
 from .obs.instrument import NOOP, Instrumentation
 from .obs.logsetup import get_logger
+from .obs.metrics import MetricsRegistry
+from .obs.requestlog import RequestLog
+from .obs.slo import SloWindow
 
 __all__ = ["MiningServer", "request", "DEFAULT_COST_BUDGET"]
 
@@ -55,6 +75,9 @@ DEFAULT_COST_BUDGET = 2_000_000
 #: A warm query's passes resolve from cache; its queue price is a token
 #: constant so even thousands of them cannot starve admission entirely.
 WARM_COST = 1
+
+#: Prefix for the Prometheus exposition the ``metrics`` op returns.
+METRICS_PREFIX = "pincer_"
 
 
 class MiningServer:
@@ -71,8 +94,16 @@ class MiningServer:
     cost_budget:
         Admission budget in candidate-bound units (see module docs).
     obs:
-        Per-query telemetry sink (``serve.*`` metrics); defaults to the
-        session's instrumentation.
+        Per-query telemetry sink (``serve.*`` metrics, request-scoped
+        spans); defaults to the session's instrumentation.
+    request_log:
+        Optional :class:`RequestLog`; the server borrows it (the owner
+        closes it) and writes one record per ``mine``/``rules`` query.
+    slo:
+        Rolling SLO window; None builds a default five-minute
+        :class:`SloWindow` unless ``enable_slo`` is False.
+    enable_slo:
+        Set False to run without windowed metrics (benchmark baselines).
     """
 
     def __init__(
@@ -81,11 +112,19 @@ class MiningServer:
         socket_path: str,
         cost_budget: int = DEFAULT_COST_BUDGET,
         obs: Optional[Instrumentation] = None,
+        request_log: Optional[RequestLog] = None,
+        slo: Optional[SloWindow] = None,
+        enable_slo: bool = True,
     ) -> None:
         self.session = session
         self.socket_path = socket_path
         self.cost_budget = cost_budget
         self.obs = obs if obs is not None else session.obs
+        self.request_log = request_log
+        self.slo = slo if slo is not None else (SloWindow() if enable_slo else None)
+        # the ``metrics`` wire op must work without --metrics-out, so a
+        # disabled obs bundle still gets a real registry of its own
+        self.metrics = self.obs.metrics if self.obs.enabled else MetricsRegistry()
         self._inflight_cost = 0
         self._inflight_queries = 0
         self._admission = threading.Lock()
@@ -94,6 +133,9 @@ class MiningServer:
         self._closed = False
         self.queries_answered = 0
         self.queries_rejected = 0
+        self.started_ts = time.time()
+        self._started_mono = time.monotonic()
+        self._request_ids = itertools.count(1)
         if os.path.exists(socket_path):
             os.unlink(socket_path)
         server = self
@@ -199,12 +241,9 @@ class MiningServer:
             if op == "ping":
                 return {"ok": True, "op": "ping"}
             if op == "stats":
-                return {
-                    "ok": True, "op": "stats",
-                    "session": self.session.stats(),
-                    "served": self.queries_answered,
-                    "rejected": self.queries_rejected,
-                }
+                return self._handle_stats()
+            if op == "metrics":
+                return self._handle_metrics()
             if op == "shutdown":
                 # only mark it: the handler loop flushes this reply
                 # first and *then* kicks close(), so the requester
@@ -212,9 +251,9 @@ class MiningServer:
                 self._shutdown.set()
                 return {"ok": True, "op": "shutdown"}
             if op == "mine":
-                return self._handle_mine(message)
+                return self._serve_query("mine", message, self._run_mine)
             if op == "rules":
-                return self._handle_rules(message)
+                return self._serve_query("rules", message, self._run_rules)
             return {"ok": False, "error": "unknown op %r" % (op,)}
         except Exception as exc:
             logger.exception("query failed: %s", message)
@@ -228,55 +267,205 @@ class MiningServer:
             raise ValueError("min_support must be a percentage in (0, 100]")
         return float(min_support) / 100.0
 
-    def _price(self, fraction: float) -> int:
+    def _price(self, fraction: float) -> Tuple[int, Dict[str, Any]]:
+        """The admission price plus the estimate it came from."""
         estimate = self.session.estimate_cost(fraction)
         if estimate["warm"]:
-            return WARM_COST
-        return max(WARM_COST, int(estimate["candidate_bound"]))
+            return WARM_COST, estimate
+        return max(WARM_COST, int(estimate["candidate_bound"])), estimate
 
-    def _admit(self, cost: int) -> bool:
+    def _admit(self, cost: int) -> Tuple[bool, int]:
         """Reserve ``cost`` units, or refuse.  An idle server always
-        admits — rejecting with nothing in flight would livelock."""
+        admits — rejecting with nothing in flight would livelock.
+        Returns ``(admitted, in-flight cost after the decision)``; the
+        rejection counter moves under the same lock, so ``stats``
+        replies are exact under concurrent handler threads."""
         with self._admission:
             if (
                 self._inflight_queries > 0
                 and self._inflight_cost + cost > self.cost_budget
             ):
-                return False
+                self.queries_rejected += 1
+                return False, self._inflight_cost
             self._inflight_cost += cost
             self._inflight_queries += 1
-            return True
+            return True, self._inflight_cost
 
     def _release(self, cost: int) -> None:
         with self._admission:
             self._inflight_cost -= cost
             self._inflight_queries -= 1
 
-    def _handle_mine(self, message: Dict) -> Dict:
-        fraction = self._parse_support(message)
-        warm = bool(message.get("warm", True))
-        cost = self._price(fraction)
-        if not self._admit(cost):
-            self.queries_rejected += 1
-            if self.obs.enabled:
-                self.obs.counter("serve.rejected").inc()
+    def _mint_request_id(self) -> str:
+        return "req-%d-%06d" % (os.getpid(), next(self._request_ids))
+
+    def _eta_seconds(self, backlog_cost: int) -> Optional[float]:
+        """Candidate-bound backlog over the observed counting rate.
+
+        The bound is provable and the rate is the session's data-plane
+        EWMA, so this errs long rather than short; it is null until the
+        first counted pass calibrates the estimator.
+        """
+        rate = self.session.rate.rate
+        if rate is None or rate <= 0:
+            return None
+        return round(backlog_cost / rate, 6)
+
+    def _log_request(
+        self,
+        record: Dict[str, Any],
+        spans: Optional[List[Dict[str, Any]]] = None,
+        **fields: Any,
+    ) -> None:
+        # schema v4 admits null only for eta_s; a runner that has no
+        # value for an optional field (rules has no pass count) omits
+        # the key rather than writing null
+        record.update(
+            (key, value)
+            for key, value in fields.items()
+            if value is not None or key == "eta_s"
+        )
+        if self.request_log is not None:
+            self.request_log.log(record, spans=spans)
+
+    # ------------------------------------------------------------------
+    # the one instrumented admission/measure wrapper (mine and rules)
+    # ------------------------------------------------------------------
+
+    def _serve_query(self, op: str, message: Dict, runner) -> Dict:
+        """Price, admit, run, and account one wire query.
+
+        Both query ops flow through here, so the access log, the
+        ``serve.*`` instruments, and the SLO window see rules traffic
+        exactly as they see mine traffic.
+        """
+        request_id = self._mint_request_id()
+        record: Dict[str, Any] = {"id": request_id, "op": op}
+        arrived = time.perf_counter()
+        try:
+            fraction = self._parse_support(message)
+        except ValueError as exc:
+            self._log_request(
+                record,
+                ok=False,
+                admitted=False,
+                error=str(exc),
+                seconds=time.perf_counter() - arrived,
+            )
             return {
-                "ok": False, "error": "busy", "cost": cost,
-                "budget": self.cost_budget, "retry": True,
+                "ok": False, "op": op, "request_id": request_id,
+                "error": str(exc),
             }
+        record["min_support"] = float(message["min_support"])
+        cost, estimate = self._price(fraction)
+        warm = cost == WARM_COST
+        record.update(threshold=int(estimate["threshold"]), cost=cost, warm=warm)
+        admitted, inflight_cost = self._admit(cost)
+        if not admitted:
+            # quote how long the present backlog plus this query would
+            # take — the retry hint a client should sleep on
+            eta = self._eta_seconds(inflight_cost + cost)
+            self.metrics.counter("serve.rejected").inc()
+            if self.slo is not None:
+                self.slo.observe(rejected=True)
+            self._log_request(
+                record,
+                ok=False,
+                admitted=False,
+                error="busy",
+                eta_s=eta,
+                seconds=time.perf_counter() - arrived,
+            )
+            return {
+                "ok": False, "error": "busy", "op": op,
+                "request_id": request_id, "cost": cost,
+                "budget": self.cost_budget, "retry": True,
+                "eta_seconds": eta,
+            }
+        # admitted: the quoted ETA covers everything now in flight,
+        # including this query's own bound
+        eta = self._eta_seconds(inflight_cost)
+        timings: Dict[str, float] = {}
+        spans: List[Dict[str, Any]] = []
+        cache_before = self.session.cache.stats()
         started = time.perf_counter()
         try:
-            result = self.session.mine(fraction, warm_start=warm)
+            payload, result_size, passes = runner(
+                message, fraction, request_id, spans, timings
+            )
+        except Exception as exc:
+            seconds = time.perf_counter() - started
+            self.metrics.counter("serve.errors").inc()
+            if self.slo is not None:
+                self.slo.observe(seconds=seconds, error=True)
+            self._log_request(
+                record,
+                ok=False,
+                admitted=True,
+                error="%s: %s" % (type(exc).__name__, exc),
+                queue_wait_s=round(timings.get("queue_wait_s", 0.0), 6),
+                seconds=seconds,
+                eta_s=eta,
+            )
+            raise
         finally:
             self._release(cost)
         seconds = time.perf_counter() - started
-        self.queries_answered += 1
-        if self.obs.enabled:
-            self.obs.counter("serve.queries").inc()
-            self.obs.histogram("serve.seconds").observe(seconds)
+        cache_after = self.session.cache.stats()
+        # deltas are attributed to this query; under concurrency they
+        # are approximate (the session lock serializes the mining, so
+        # misattribution needs interleaved bookkeeping windows)
+        cache_hits = max(0, cache_after["hits"] - cache_before["hits"])
+        cache_misses = max(0, cache_after["misses"] - cache_before["misses"])
+        with self._admission:
+            self.queries_answered += 1
+        self.metrics.counter("serve.queries").inc()
+        self.metrics.histogram("serve.seconds").observe(seconds)
+        if self.slo is not None:
+            self.slo.observe(
+                seconds=seconds,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+            )
+        self._log_request(
+            record,
+            spans=spans,
+            ok=True,
+            admitted=True,
+            queue_wait_s=round(timings.get("queue_wait_s", 0.0), 6),
+            seconds=seconds,
+            passes=passes,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            result_size=result_size,
+            eta_s=eta,
+        )
+        reply = {
+            "ok": True, "op": op, "request_id": request_id,
+            "seconds": seconds, "cost": cost, "warm": warm,
+            "eta_seconds": eta,
+        }
+        reply.update(payload)
+        return reply
+
+    def _run_mine(
+        self,
+        message: Dict,
+        fraction: float,
+        request_id: str,
+        spans: List[Dict[str, Any]],
+        timings: Dict[str, float],
+    ) -> Tuple[Dict[str, Any], int, int]:
+        warm_start = bool(message.get("warm", True))
+        result = self.session.mine(
+            fraction,
+            warm_start=warm_start,
+            request_id=request_id,
+            span_sink=spans,
+            timings=timings,
+        )
         mfs = [list(member) for member in result.sorted_mfs()]
-        return {
-            "ok": True, "op": "mine",
+        payload = {
             "min_support": message["min_support"],
             "min_support_count": result.min_support_count,
             "mfs": mfs,
@@ -284,30 +473,29 @@ class MiningServer:
                 result.support_count(tuple(member)) for member in mfs
             ],
             "passes": result.stats.num_passes,
-            "seconds": seconds,
-            "cost": cost,
-            "warm": cost == WARM_COST,
             "cache": self.session.cache.stats(),
         }
+        return payload, len(mfs), result.stats.num_passes
 
-    def _handle_rules(self, message: Dict) -> Dict:
-        fraction = self._parse_support(message)
+    def _run_rules(
+        self,
+        message: Dict,
+        fraction: float,
+        request_id: str,
+        spans: List[Dict[str, Any]],
+        timings: Dict[str, float],
+    ) -> Tuple[Dict[str, Any], int, Optional[int]]:
         min_confidence = float(message.get("min_confidence", 80.0)) / 100.0
         depth = message.get("depth", 2)
-        cost = self._price(fraction)
-        if not self._admit(cost):
-            self.queries_rejected += 1
-            return {"ok": False, "error": "busy", "retry": True}
-        started = time.perf_counter()
-        try:
-            rules = self.session.rules(
-                fraction, min_confidence=min_confidence, depth=depth
-            )
-        finally:
-            self._release(cost)
-        self.queries_answered += 1
-        return {
-            "ok": True, "op": "rules",
+        rules = self.session.rules(
+            fraction,
+            min_confidence=min_confidence,
+            depth=depth,
+            request_id=request_id,
+            span_sink=spans,
+            timings=timings,
+        )
+        payload = {
             "count": len(rules),
             "rules": [
                 {
@@ -318,7 +506,83 @@ class MiningServer:
                 }
                 for rule in rules
             ],
-            "seconds": time.perf_counter() - started,
+        }
+        return payload, len(rules), None
+
+    # ------------------------------------------------------------------
+    # introspection ops
+    # ------------------------------------------------------------------
+
+    def _vitals(self) -> Dict[str, Any]:
+        with self._admission:
+            inflight_cost = self._inflight_cost
+            inflight_queries = self._inflight_queries
+        return {
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.monotonic() - self._started_mono, 3),
+            "started_ts": self.started_ts,
+            "engine": self.session.decision.engine,
+            "snapshot": self.session.key,
+            "socket": self.socket_path,
+            "inflight_cost": inflight_cost,
+            "inflight_queries": inflight_queries,
+            "cost_budget": self.cost_budget,
+            "counting_rate": (
+                round(self.session.rate.rate, 3)
+                if self.session.rate.rate is not None
+                else None
+            ),
+        }
+
+    def _handle_stats(self) -> Dict:
+        with self._admission:
+            served = self.queries_answered
+            rejected = self.queries_rejected
+        reply = {
+            "ok": True, "op": "stats",
+            "session": self.session.stats(),
+            "served": served,
+            "rejected": rejected,
+            "vitals": self._vitals(),
+        }
+        if self.slo is not None:
+            reply["slo"] = self.slo.snapshot()
+        return reply
+
+    def _handle_metrics(self) -> Dict:
+        """Prometheus text exposition of the daemon's instruments.
+
+        The cumulative registry (``serve.*`` counters and latency, plus
+        whatever the miners recorded into a shared obs bundle) is
+        decorated with daemon gauges and the rolling SLO window —
+        windowed p50/p95/p99 land as the ``serve.window.latency``
+        summary, rates as gauges — then rendered through the existing
+        exporter.
+        """
+        document = self.metrics.to_dict()
+        vitals = self._vitals()
+        gauges = document.setdefault("gauges", {})
+        gauges["serve.uptime_seconds"] = vitals["uptime_seconds"]
+        gauges["serve.inflight_cost"] = vitals["inflight_cost"]
+        gauges["serve.inflight_queries"] = vitals["inflight_queries"]
+        gauges["serve.cost_budget"] = vitals["cost_budget"]
+        if vitals["counting_rate"] is not None:
+            gauges["serve.counting_rate"] = vitals["counting_rate"]
+        if self.slo is not None:
+            snapshot = self.slo.snapshot()
+            gauges["serve.window.qps"] = snapshot["qps"]
+            gauges["serve.window.rejection_rate"] = snapshot["rejection_rate"]
+            gauges["serve.window.cache_hit_rate"] = snapshot["cache_hit_rate"]
+            gauges["serve.window.covered_seconds"] = snapshot["covered_seconds"]
+            document.setdefault("histograms", {})["serve.window.latency"] = (
+                snapshot["latency"]
+            )
+        return {
+            "ok": True, "op": "metrics",
+            "content_type": "text/plain; version=0.0.4",
+            "exposition": metrics_to_prometheus(
+                document, prefix=METRICS_PREFIX
+            ),
         }
 
 
@@ -398,18 +662,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="publish live shard heartbeats ('pincer obs top NAME')",
     )
     parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="JSONL span trace of every served query (spans carry the "
+        "wire request_id; group with 'pincer obs report --request')",
+    )
+    parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the server's metrics registry as JSON on exit",
+    )
+    parser.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="JSONL access log, one schema-v4 record per query",
+    )
+    parser.add_argument(
+        "--slow-dir", default=None, metavar="DIR",
+        help="slow-query snapshot ring directory (default: "
+        "ACCESS_LOG.slow next to the access log)",
+    )
+    parser.add_argument(
+        "--slow-capacity", type=int, default=32, metavar="N",
+        help="slow-query ring size in snapshots (default: 32)",
+    )
+    parser.add_argument(
+        "--slo-window", type=float, default=300.0, metavar="SECONDS",
+        help="rolling SLO window for the metrics op (0 disables; "
+        "default: 300)",
     )
     args = parser.parse_args(argv)
 
     from .obs import capture
 
     obs = capture(
+        trace_path=args.trace,
         metrics_path=args.metrics_out,
         producer="pincer-serve",
         telemetry=args.telemetry,
     )
+    request_log = None
+    if args.access_log:
+        slow_dir = args.slow_dir
+        if slow_dir is None:
+            slow_dir = args.access_log + ".slow"
+        request_log = RequestLog(
+            args.access_log, slow_dir=slow_dir, slow_capacity=args.slow_capacity
+        )
+    slo = SloWindow(window_seconds=args.slo_window) if args.slo_window > 0 else None
     if args.snapshot:
         from .db.disk import DiskTransactionDatabase
 
@@ -424,28 +721,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             db, engine=args.engine, kernel=kernel, obs=obs, key=key
         ) as session:
             server = MiningServer(
-                session, args.socket, cost_budget=args.cost_budget, obs=obs
+                session, args.socket, cost_budget=args.cost_budget, obs=obs,
+                request_log=request_log, slo=slo, enable_slo=slo is not None,
             )
-            print(
-                "serving %s on %s (engine %s)"
-                % (key, args.socket, session.decision.engine),
-                flush=True,
+            sys.stdout.write(
+                "serving %s on %s (engine %s)\n"
+                % (key, args.socket, session.decision.engine)
             )
+            sys.stdout.flush()
             try:
                 server.serve_forever()
             except KeyboardInterrupt:
                 pass
             finally:
                 server.close()
-            print(
-                "served %d queries (%d rejected); cache %s"
+            sys.stdout.write(
+                "served %d queries (%d rejected); cache %s\n"
                 % (
                     server.queries_answered,
                     server.queries_rejected,
                     session.cache.stats(),
-                ),
-                flush=True,
+                )
             )
+            sys.stdout.flush()
     finally:
+        if request_log is not None:
+            request_log.close()
         obs.finish()
     return 0

@@ -136,6 +136,76 @@ class TestTracer:
         NOOP_TRACER.close()
 
 
+class TestTracerBind:
+    def test_bound_attrs_stamp_every_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.bind(request_id="req-1"):
+            with tracer.span("run"):
+                with tracer.span("pass", k=1):
+                    pass
+        spans = [e for e in trace_events(sink) if e["type"] == "span"]
+        assert len(spans) == 2
+        assert all(e["attrs"]["request_id"] == "req-1" for e in spans)
+
+    def test_binding_restores_on_exit(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.bind(request_id="req-1"):
+            pass
+        with tracer.span("run"):
+            pass
+        (event,) = [e for e in trace_events(sink) if e["type"] == "span"]
+        assert "request_id" not in event.get("attrs", {})
+
+    def test_explicit_attrs_win_over_ambient(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.bind(k=9):
+            with tracer.span("pass", k=1):
+                pass
+        (event,) = [e for e in trace_events(sink) if e["type"] == "span"]
+        assert event["attrs"]["k"] == 1
+
+    def test_sink_collects_closed_span_events(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        collected = []
+        with tracer.bind(sink=collected, request_id="req-1"):
+            with tracer.span("run"):
+                pass
+        assert [e["name"] for e in collected] == ["run"]
+        assert collected[0]["attrs"]["request_id"] == "req-1"
+
+    def test_none_valued_attrs_are_dropped(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.bind(request_id=None):
+            with tracer.span("run"):
+                pass
+        (event,) = [e for e in trace_events(sink) if e["type"] == "span"]
+        assert "request_id" not in event.get("attrs", {})
+
+    def test_bindings_nest_and_restore(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.bind(a=1):
+            with tracer.bind(b=2):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("outer"):
+                pass
+        spans = {
+            e["name"]: e for e in trace_events(sink) if e["type"] == "span"
+        }
+        assert spans["inner"]["attrs"] == {"a": 1, "b": 2}
+        assert spans["outer"]["attrs"] == {"a": 1}
+
+    def test_noop_tracer_bind_is_inert(self):
+        with NOOP_TRACER.bind(request_id="x"):
+            pass
+
+
 class TestMetrics:
     def test_counter_increments(self):
         counter = Counter()

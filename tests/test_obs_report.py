@@ -2,7 +2,14 @@
 
 import json
 
-from repro.obs.report import build_span_tree, main as report_main, render_report
+from repro.obs.report import (
+    build_span_tree,
+    filter_request,
+    group_requests,
+    main as report_main,
+    render_report,
+    render_requests,
+)
 from repro.obs.tracing import Tracer
 
 
@@ -96,6 +103,47 @@ class TestRenderReport:
         ]
         text = render_report(events)
         assert "trace truncated, 4 events dropped" in text
+
+
+class TestRequestGrouping:
+    def _serve_trace(self):
+        return [
+            _span("run", 1, ts=0.0, dur=1.0, request_id="req-1-000001"),
+            _span("pass", 2, parent=1, ts=0.1, dur=0.5,
+                  request_id="req-1-000001"),
+            _span("run", 3, ts=2.0, dur=0.2, request_id="req-1-000002"),
+            _span("command", 4, ts=3.0, dur=0.1),  # no request id
+        ]
+
+    def test_filter_request_keeps_one_query(self):
+        events = self._serve_trace()
+        filtered = filter_request(events, "req-1-000001")
+        spans = [e for e in filtered if e.get("type") == "span"]
+        assert {e["span"] for e in spans} == {1, 2}
+
+    def test_group_requests_summarizes_per_id(self):
+        groups = group_requests(self._serve_trace())
+        assert set(groups) == {"req-1-000001", "req-1-000002"}
+        first = groups["req-1-000001"]
+        assert first["spans"] == 2
+        assert first["roots"] == ["run"]
+        assert abs(first["wall_s"] - 1.0) < 1e-9
+
+    def test_render_requests_table(self):
+        text = render_requests(self._serve_trace())
+        assert "req-1-000001" in text and "req-1-000002" in text
+        assert render_requests([]).startswith("no request-scoped spans")
+
+    def test_cli_request_flags(self, tmp_path, capsys):
+        path = tmp_path / "serve.jsonl"
+        with open(path, "w") as handle:
+            for event in self._serve_trace():
+                handle.write(json.dumps(event) + "\n")
+        assert report_main([str(path), "--requests"]) == 0
+        assert "req-1-000002" in capsys.readouterr().out
+        assert report_main([str(path), "--request", "req-1-000002"]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out
 
 
 class TestReportCli:

@@ -10,6 +10,8 @@ import pytest
 from repro.core.pincer import pincer_search
 from repro.core.session import MiningSession
 from repro.db.transaction_db import TransactionDatabase
+from repro.obs.requestlog import RequestLog
+from repro.obs.schema import validate_request_log_file
 from repro.serve import MiningServer, request
 
 
@@ -235,3 +237,297 @@ class TestLifecycle:
                 assert request(str(socket_path), {"op": "ping"})["ok"]
             finally:
                 server.close()
+
+
+class TestQueryPlane:
+    def test_replies_carry_request_id_seconds_and_eta(self, server):
+        replies = [
+            request(server.socket_path, {"op": "mine", "min_support": 5.0}),
+            request(server.socket_path, {"op": "mine", "min_support": 5.0}),
+            request(
+                server.socket_path,
+                {"op": "rules", "min_support": 5.0, "min_confidence": 50},
+            ),
+        ]
+        ids = [reply["request_id"] for reply in replies]
+        assert len(set(ids)) == 3
+        for reply in replies:
+            assert reply["ok"]
+            assert reply["request_id"].startswith("req-")
+            assert reply["seconds"] >= 0
+            assert "eta_seconds" in reply
+        # the first query counted candidates, so the rate is calibrated
+        # and later replies quote a concrete ETA
+        assert replies[-1]["eta_seconds"] is not None
+
+    def test_error_replies_carry_request_id(self, server):
+        reply = request(
+            server.socket_path, {"op": "mine", "min_support": 0}
+        )
+        assert not reply["ok"]
+        assert reply["request_id"].startswith("req-")
+
+    def test_stats_vitals(self, server):
+        import os
+
+        request(server.socket_path, {"op": "mine", "min_support": 5.0})
+        reply = request(server.socket_path, {"op": "stats"})
+        vitals = reply["vitals"]
+        assert vitals["pid"] == os.getpid()
+        assert vitals["uptime_seconds"] >= 0
+        assert vitals["engine"] == "bitmap"
+        assert vitals["inflight_queries"] == 0
+        assert vitals["cost_budget"] == server.cost_budget
+        assert vitals["counting_rate"] is not None
+        slo = reply["slo"]
+        assert slo["queries"] >= 1
+        assert slo["latency"]["p50"] > 0
+
+    def test_metrics_op_is_prometheus_exposition(self, server):
+        request(server.socket_path, {"op": "mine", "min_support": 5.0})
+        reply = request(server.socket_path, {"op": "metrics"})
+        assert reply["ok"]
+        assert reply["content_type"].startswith("text/plain")
+        exposition = reply["exposition"]
+        assert "pincer_serve_queries" in exposition
+        assert "pincer_serve_window_latency" in exposition
+        for line in exposition.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value)  # every sample value parses as a number
+
+    def test_rules_busy_rejection_is_counted_and_quotes_eta(
+        self, db, tmp_path
+    ):
+        with MiningSession(db, engine="bitmap") as session:
+            server = MiningServer(
+                session, str(tmp_path / "rules.sock"), cost_budget=1
+            ).start()
+            try:
+                # calibrate the rate estimator, then hold a mine in
+                # flight so the rules query provably arrives busy
+                request(
+                    server.socket_path,
+                    {"op": "mine", "min_support": 5.0},
+                    timeout=120.0,
+                )
+                entered = threading.Event()
+                release = threading.Event()
+                original_mine = session.mine
+
+                def held_mine(*args, **kwargs):
+                    entered.set()
+                    assert release.wait(timeout=60.0)
+                    return original_mine(*args, **kwargs)
+
+                session.mine = held_mine
+                thread = threading.Thread(
+                    target=request,
+                    args=(
+                        server.socket_path,
+                        {"op": "mine", "min_support": 3.0},
+                    ),
+                    kwargs={"timeout": 120.0},
+                )
+                thread.start()
+                assert entered.wait(timeout=60.0)
+                etas = []
+                for _ in range(3):
+                    rejected = request(
+                        server.socket_path,
+                        {
+                            "op": "rules",
+                            "min_support": 3.0,
+                            "min_confidence": 50,
+                        },
+                        timeout=60.0,
+                    )
+                    assert not rejected["ok"]
+                    assert rejected["error"] == "busy"
+                    assert rejected["retry"]
+                    etas.append(rejected["eta_seconds"])
+                release.set()
+                thread.join(timeout=120.0)
+                # the fix this PR makes: rules rejections move the same
+                # counter the mine path moves
+                assert server.queries_rejected == 3
+                # the rate was calibrated before the holdup, so every
+                # busy reply quotes a concrete, non-increasing ETA
+                assert all(eta is not None for eta in etas)
+                assert all(a >= b for a, b in zip(etas, etas[1:]))
+            finally:
+                server.close()
+
+    def test_rules_success_feeds_latency_instruments(self, server):
+        request(
+            server.socket_path,
+            {"op": "rules", "min_support": 5.0, "min_confidence": 50},
+        )
+        # the fix this PR makes: rules queries land in serve.seconds
+        assert server.metrics.histogram("serve.seconds").count >= 1
+        assert server.metrics.counter("serve.queries").value >= 1
+
+    def test_concurrent_queries_log_exactly_one_record_each(
+        self, db, tmp_path
+    ):
+        access = str(tmp_path / "access.jsonl")
+        with MiningSession(db, engine="bitmap") as session, \
+                RequestLog(access) as log:
+            server = MiningServer(
+                session, str(tmp_path / "logged.sock"),
+                cost_budget=10**9, request_log=log,
+            ).start()
+            try:
+                replies = [None] * 8
+                errors = []
+
+                def fire(slot, support):
+                    try:
+                        replies[slot] = request(
+                            server.socket_path,
+                            {"op": "mine", "min_support": support},
+                            timeout=120.0,
+                        )
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(
+                        target=fire, args=(i, [8.0, 5.0][i % 2])
+                    )
+                    for i in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=180.0)
+                assert not errors
+            finally:
+                server.close()
+        # one well-formed v4 record per query, ids matching the replies
+        assert validate_request_log_file(access) == 8
+        with open(access) as handle:
+            records = [json.loads(line) for line in handle]
+        assert sorted(r["id"] for r in records) == sorted(
+            reply["request_id"] for reply in replies
+        )
+        for record in records:
+            assert record["ok"] and record["admitted"]
+            assert record["op"] == "mine"
+            assert record["seconds"] >= 0
+
+    def test_rules_record_validates_without_a_pass_count(
+        self, db, tmp_path
+    ):
+        # rules runners report no pass count; the record must omit the
+        # key (schema v4 rejects "passes": null) and still validate
+        access = str(tmp_path / "access.jsonl")
+        with MiningSession(db, engine="bitmap") as session, \
+                RequestLog(access) as log:
+            server = MiningServer(
+                session, str(tmp_path / "ruleslog.sock"), request_log=log
+            ).start()
+            try:
+                reply = request(
+                    server.socket_path,
+                    {"op": "rules", "min_support": 5.0,
+                     "min_confidence": 50.0},
+                )
+            finally:
+                server.close()
+        assert reply["ok"]
+        assert validate_request_log_file(access) == 1
+        with open(access) as handle:
+            record = json.loads(handle.readline())
+        assert record["op"] == "rules" and record["ok"]
+        assert "passes" not in record
+
+    def test_rejections_and_errors_are_logged_too(self, db, tmp_path):
+        access = str(tmp_path / "access.jsonl")
+        with MiningSession(db, engine="bitmap") as session, \
+                RequestLog(access) as log:
+            server = MiningServer(
+                session, str(tmp_path / "badlog.sock"), request_log=log
+            ).start()
+            try:
+                bad = request(
+                    server.socket_path, {"op": "mine", "min_support": 0}
+                )
+            finally:
+                server.close()
+        assert validate_request_log_file(access) == 1
+        with open(access) as handle:
+            record = json.loads(handle.readline())
+        assert record["id"] == bad["request_id"]
+        assert not record["ok"] and not record["admitted"]
+        assert "min_support" in record["error"]
+
+    def test_request_id_propagates_into_the_trace(self, db, tmp_path):
+        from repro.obs import capture, load_trace_events
+
+        trace_path = str(tmp_path / "serve-trace.jsonl")
+        obs = capture(trace_path=trace_path, producer="test-serve")
+        with MiningSession(db, engine="bitmap", obs=obs) as session:
+            server = MiningServer(
+                session, str(tmp_path / "traced.sock")
+            ).start()
+            try:
+                first = request(
+                    server.socket_path, {"op": "mine", "min_support": 5.0}
+                )
+                second = request(
+                    server.socket_path, {"op": "mine", "min_support": 8.0}
+                )
+            finally:
+                server.close()
+        obs.finish()
+        events = load_trace_events(trace_path)
+        spans = [e for e in events if e.get("type") == "span"]
+        assert spans
+        by_request = {}
+        for span in spans:
+            request_id = span.get("attrs", {}).get("request_id")
+            assert request_id is not None, span["name"]
+            by_request.setdefault(request_id, []).append(span["name"])
+        assert set(by_request) == {
+            first["request_id"], second["request_id"]
+        }
+        # the whole run > pass > count subtree carries the id
+        assert "run" in by_request[first["request_id"]]
+        assert "count" in by_request[first["request_id"]]
+
+    def test_slow_query_ring_snapshots_outliers(self, db, tmp_path):
+        access = str(tmp_path / "access.jsonl")
+        log = RequestLog(
+            access, slow_dir=str(tmp_path / "slow"), slow_min_seconds=0.0
+        )
+        with MiningSession(db, engine="bitmap") as session, log:
+            server = MiningServer(
+                session, str(tmp_path / "slow.sock"), request_log=log
+            ).start()
+            try:
+                reply = request(
+                    server.socket_path, {"op": "mine", "min_support": 5.0}
+                )
+            finally:
+                server.close()
+        # with a zero floor the first query is an outlier by definition
+        assert log.slow_recorded == 1
+        entries = log.ring.entries()
+        assert entries[0]["record"]["id"] == reply["request_id"]
+
+    def test_serve_frame_renders_query_plane(self, server):
+        from repro.obs.top import format_serve_frame
+
+        request(server.socket_path, {"op": "mine", "min_support": 5.0})
+        stats = request(server.socket_path, {"op": "stats"})
+        frame = format_serve_frame(server.socket_path, stats)
+        assert server.socket_path in frame
+        assert "qps" in frame
+        assert "p99" in frame
+        unreachable = format_serve_frame(
+            "/tmp/nowhere.sock", {"ok": False, "error": "nope"}
+        )
+        assert "no stats" in unreachable

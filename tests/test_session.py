@@ -249,6 +249,36 @@ class TestMiningSession:
 ENGINES = ["bitmap", "shm"]
 
 
+class TestRequestContext:
+    def test_mine_fills_timings_and_span_sink(self, tmp_path):
+        db = random_db(11)
+        obs = capture(trace_path=str(tmp_path / "t.jsonl"))
+        with MiningSession(db, engine="bitmap", obs=obs) as session:
+            spans = []
+            timings = {}
+            session.mine(
+                0.05, request_id="req-9", span_sink=spans, timings=timings
+            )
+        obs.finish()
+        assert timings["queue_wait_s"] >= 0.0
+        assert spans, "bound sink must collect the query's closed spans"
+        assert all(
+            e["attrs"]["request_id"] == "req-9" for e in spans
+        )
+        assert "run" in {e["name"] for e in spans}
+
+    def test_counting_rate_calibrates_from_cache_misses(self):
+        db = random_db(13)
+        with MiningSession(db, engine="bitmap") as session:
+            assert session.rate.rate is None
+            session.mine(0.05)  # cold: counted passes feed the EWMA
+            calibrated = session.rate.rate
+            assert calibrated is not None and calibrated > 0
+            session.mine(0.05)  # all-cached repeat must not inflate it
+            assert session.rate.rate == calibrated
+            assert session.stats()["counting_rate"] is not None
+
+
 class TestWarmStartRandomized:
     """ISSUE satellite: for any dataset and s1 < s2, warm-started MFS at
     s2 is byte-identical to cold MFS at s2, serial and shm engines."""

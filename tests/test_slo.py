@@ -1,0 +1,126 @@
+"""The rolling-window SLO ring: rotation, merging, windowed percentiles."""
+
+import pytest
+
+from repro.obs.slo import SloWindow
+
+
+class FakeClock:
+    """Injectable monotonic clock so rotation needs no sleeping."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(1000.0)
+
+
+@pytest.fixture
+def window(clock):
+    # 10-second window, 1-second buckets: easy arithmetic
+    return SloWindow(window_seconds=10.0, buckets=10, clock=clock)
+
+
+class TestObserve:
+    def test_empty_snapshot_is_all_zeroes(self, window):
+        snap = window.snapshot()
+        assert snap["queries"] == 0
+        assert snap["rejected"] == 0
+        assert snap["qps"] == 0.0
+        assert snap["latency"]["count"] == 0
+        assert snap["latency"]["p99"] == 0.0
+
+    def test_counts_and_moments(self, window, clock):
+        for seconds in (0.1, 0.2, 0.3):
+            window.observe(seconds=seconds)
+        window.observe(rejected=True)
+        window.observe(seconds=0.4, error=True)
+        snap = window.snapshot()
+        assert snap["queries"] == 4
+        assert snap["rejected"] == 1
+        assert snap["errors"] == 1
+        assert snap["latency"]["count"] == 4
+        assert snap["latency"]["min"] == pytest.approx(0.1)
+        assert snap["latency"]["max"] == pytest.approx(0.4)
+        assert snap["latency"]["total"] == pytest.approx(1.0)
+        assert snap["rejection_rate"] == pytest.approx(1 / 5)
+
+    def test_cache_hit_rate(self, window):
+        window.observe(seconds=0.01, cache_hits=9, cache_misses=1)
+        snap = window.snapshot()
+        assert snap["cache_hits"] == 9
+        assert snap["cache_misses"] == 1
+        assert snap["cache_hit_rate"] == pytest.approx(0.9)
+
+    def test_percentiles_over_merged_buckets(self, window, clock):
+        # 100 observations spread over 5 buckets: percentile must be
+        # computed over the concatenated window, not any single bucket
+        for i in range(100):
+            window.observe(seconds=(i + 1) / 100.0)
+            if i % 20 == 19:
+                clock.advance(1.0)
+        latency = window.snapshot()["latency"]
+        assert latency["p50"] == pytest.approx(0.50)
+        assert latency["p95"] == pytest.approx(0.95)
+        assert latency["p99"] == pytest.approx(0.99)
+
+
+class TestRotation:
+    def test_observations_age_out_of_the_window(self, window, clock):
+        window.observe(seconds=5.0)
+        assert window.snapshot()["queries"] == 1
+        clock.advance(11.0)  # past the full window
+        snap = window.snapshot()
+        assert snap["queries"] == 0
+        assert snap["latency"]["count"] == 0
+
+    def test_slot_reuse_resets_stale_bucket(self, window, clock):
+        window.observe(seconds=1.0)
+        # exactly one full ring later the same slot is reused; the old
+        # epoch's content must not leak into the new interval
+        clock.advance(10.0)
+        window.observe(seconds=2.0)
+        snap = window.snapshot()
+        assert snap["queries"] == 1
+        assert snap["latency"]["max"] == pytest.approx(2.0)
+
+    def test_partial_expiry_keeps_recent_buckets(self, window, clock):
+        window.observe(seconds=1.0)  # t=1000, will expire
+        clock.advance(6.0)
+        window.observe(seconds=2.0)  # t=1006, stays
+        clock.advance(6.0)  # now t=1012: first bucket is > 10s old
+        snap = window.snapshot()
+        assert snap["queries"] == 1
+        assert snap["latency"]["min"] == pytest.approx(2.0)
+
+    def test_qps_uses_covered_seconds_not_full_window(self, clock):
+        # a young daemon must not divide by the whole window
+        window = SloWindow(window_seconds=300.0, buckets=10, clock=clock)
+        clock.advance(10.0)
+        for _ in range(20):
+            window.observe(seconds=0.01)
+        snap = window.snapshot()
+        assert snap["covered_seconds"] == pytest.approx(10.0)
+        assert snap["qps"] == pytest.approx(2.0)
+
+    def test_covered_seconds_caps_at_window(self, clock):
+        window = SloWindow(window_seconds=10.0, buckets=10, clock=clock)
+        clock.advance(500.0)
+        window.observe(seconds=0.01)
+        assert window.snapshot()["covered_seconds"] == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SloWindow(window_seconds=0)
+        with pytest.raises(ValueError):
+            SloWindow(buckets=0)
