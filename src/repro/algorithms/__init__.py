@@ -8,6 +8,7 @@ from .brute_force import (
     brute_force_mfs,
 )
 from .partition import PartitionMiner, partition_mine
+from .partitioned import PartitionedPincerMiner, partitioned_mine
 from .randomized import RandomizedMFS, randomized_mfs
 from .sampling import SamplingMiner, sampling_mine
 from .topdown import TopDown, top_down
@@ -16,6 +17,7 @@ __all__ = [
     "MAX_UNIVERSE",
     "Apriori",
     "PartitionMiner",
+    "PartitionedPincerMiner",
     "RandomizedMFS",
     "SamplingMiner",
     "TopDown",
@@ -24,6 +26,7 @@ __all__ = [
     "brute_force_frequents",
     "brute_force_mfs",
     "partition_mine",
+    "partitioned_mine",
     "randomized_mfs",
     "sampling_mine",
     "top_down",

@@ -55,7 +55,16 @@ class SamplingMiner:
         sample; smaller values make misses rarer but inflate the sample's
         frequent collection.
     seed:
-        RNG seed for the sample draw.
+        RNG seed for the sample draw.  Every :meth:`mine` call draws
+        with a fresh ``random.Random(seed)``, so repeated runs of the
+        same miner see the same sample; the seed is recorded in
+        ``MiningStats.sample_seed``, making any run reproducible from
+        its stats document alone.
+    rng:
+        Explicit ``random.Random`` instance overriding ``seed`` (for
+        callers sequencing draws from one generator).  With an external
+        rng the draw is the caller's to reproduce, so
+        ``sample_seed`` is recorded as None.
     """
 
     name = "sampling"
@@ -66,6 +75,7 @@ class SamplingMiner:
         lowering: float = 0.8,
         seed: int = 0,
         engine: str = "auto",
+        rng: Optional[random.Random] = None,
     ) -> None:
         if not 0.0 < sample_fraction <= 1.0:
             raise ValueError("sample_fraction must be in (0, 1]")
@@ -74,6 +84,7 @@ class SamplingMiner:
         self._sample_fraction = sample_fraction
         self._lowering = lowering
         self._seed = seed
+        self._rng = rng
         self._engine = engine
 
     def mine(
@@ -95,6 +106,7 @@ class SamplingMiner:
             algorithm=self.name,
             engine=decision.engine,
             engine_evidence=decision.evidence,
+            sample_seed=None if self._rng is not None else self._seed,
         )
 
         run_span = obs.span(
@@ -187,7 +199,11 @@ class SamplingMiner:
         )
 
     def _draw_sample(self, db: TransactionDatabase) -> TransactionDatabase:
-        rng = random.Random(self._seed)
+        rng = (
+            self._rng
+            if self._rng is not None
+            else random.Random(self._seed)
+        )
         size = max(1, round(self._sample_fraction * len(db)))
         if size >= len(db):
             return db
@@ -203,6 +219,7 @@ def sampling_mine(
     sample_fraction: float = 0.2,
     lowering: float = 0.8,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`SamplingMiner`.
 
@@ -212,6 +229,6 @@ def sampling_mine(
     [(1, 2, 3)]
     """
     miner = SamplingMiner(
-        sample_fraction=sample_fraction, lowering=lowering, seed=seed
+        sample_fraction=sample_fraction, lowering=lowering, seed=seed, rng=rng
     )
     return miner.mine(db, min_support, min_count=min_count)

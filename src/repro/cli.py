@@ -35,6 +35,9 @@ import sys
 from typing import List, Optional
 
 from .algorithms.apriori import Apriori
+from .algorithms.partition import PartitionMiner
+from .algorithms.partitioned import PartitionedPincerMiner
+from .algorithms.sampling import SamplingMiner
 from .algorithms.topdown import TopDown
 from .bench.experiments import ALL_EXPERIMENTS, build_database
 from .bench.harness import bench_budget, format_rows, run_sweep
@@ -50,7 +53,32 @@ from .rules.from_mfs import rules_from_mfs
 from .rules.generation import interesting_rules
 
 
-def _make_miner(name: str, engine: str, kernel: "str | None" = None):
+def _parse_bytes(text: str) -> int:
+    """``"80M"``/``"2G"``/plain integers → bytes (for --memory-budget)."""
+    value = text.strip().upper()
+    multiplier = 1
+    for suffix, scale in (("K", 1024), ("M", 1024 ** 2), ("G", 1024 ** 3)):
+        if value.endswith(suffix):
+            multiplier = scale
+            value = value[: -1]
+            break
+    try:
+        return int(float(value) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "%r is not a byte size (use e.g. 104857600, 100M, 2G)" % text
+        ) from None
+
+
+def _make_miner(
+    name: str,
+    engine: str,
+    kernel: "str | None" = None,
+    args: "argparse.Namespace | None" = None,
+):
+    def flag(key, default=None):
+        return getattr(args, key, default) if args is not None else default
+
     if name == "pincer":
         return PincerSearch(engine=engine, adaptive=True, kernel=kernel)
     if name == "pincer-pure":
@@ -59,6 +87,26 @@ def _make_miner(name: str, engine: str, kernel: "str | None" = None):
         return Apriori(engine=engine, kernel=kernel)
     if name == "topdown":
         return TopDown(engine=engine, kernel=kernel)
+    if name == "sampling":
+        return SamplingMiner(
+            sample_fraction=flag("sample_fraction") or 0.2,
+            seed=flag("sample_seed") or 0,
+            engine=engine,
+        )
+    if name == "partition":
+        return PartitionMiner(
+            num_partitions=flag("partitions") or 4, engine=engine
+        )
+    if name == "partitioned":
+        return PartitionedPincerMiner(
+            num_partitions=flag("partitions"),
+            memory_budget=flag("memory_budget"),
+            parallelism=flag("partition_parallelism") or 1,
+            engine=engine,
+            kernel=kernel,
+            sample_fraction=flag("sample_fraction") or 0.0,
+            sample_seed=flag("sample_seed") or 0,
+        )
     raise ValueError("unknown algorithm %r" % name)
 
 
@@ -114,7 +162,10 @@ def _add_mine_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--algorithm", default="pincer",
-        choices=("pincer", "pincer-pure", "apriori", "topdown"),
+        choices=(
+            "pincer", "pincer-pure", "apriori", "topdown",
+            "sampling", "partition", "partitioned",
+        ),
     )
     parser.add_argument(
         "--engine", default="auto",
@@ -134,6 +185,36 @@ def _add_mine_flags(parser: argparse.ArgumentParser) -> None:
         help="packed-bitmap snapshot of the input (written by 'pincer "
         "snapshot'): skips the basket parse, and the shm engine "
         "memory-maps it directly",
+    )
+    outofcore = parser.add_argument_group(
+        "out-of-core (--algorithm/--engine partitioned)"
+    )
+    outofcore.add_argument(
+        "--memory-budget", type=_parse_bytes, default=None, metavar="BYTES",
+        help="cap on concurrently mapped partition-matrix bytes, e.g. "
+        "80M (partitions beyond it are counted in windows)",
+    )
+    outofcore.add_argument(
+        "--partitions", type=int, default=None, metavar="K",
+        help="partition count for self-partitioned inputs (snapshot-"
+        "backed inputs use the snapshot's own directory); also the "
+        "partition count for --algorithm partition",
+    )
+    outofcore.add_argument(
+        "--partition-parallelism", type=int, default=1, metavar="N",
+        help="phase-I worker processes (needs a --snapshot input; the "
+        "memory budget is split between workers)",
+    )
+    outofcore.add_argument(
+        "--sample-fraction", type=float, default=None, metavar="F",
+        help="Toivonen sample fraction in [0,1]: seeds the local MFCS "
+        "descents for --algorithm partitioned, or the sample draw for "
+        "--algorithm sampling",
+    )
+    outofcore.add_argument(
+        "--sample-seed", type=int, default=0, metavar="SEED",
+        help="RNG seed of the sample draw (recorded in the run's stats "
+        "for reproducibility)",
     )
 
 
@@ -174,30 +255,60 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         snapshot_database,
     )
 
+    partition_kwargs = dict(
+        num_partitions=args.partitions, partition_rows=args.partition_rows
+    )
     suffix = Path(args.input).suffix.lower()
     if suffix in ("", ".dat", ".basket", ".txt"):
         # FIMI baskets stream straight from disk: one read, no residency
-        written = DiskTransactionDatabase(args.input).snapshot(args.out)
+        written = DiskTransactionDatabase(args.input).snapshot(
+            args.out, **partition_kwargs
+        )
     else:
         db = io.load(args.input)
         written = snapshot_database(
-            db, args.out or default_snapshot_path(args.input)
+            db, args.out or default_snapshot_path(args.input),
+            **partition_kwargs
         )
     snap = load_snapshot(written)
     print(
-        "wrote %s (format v%d): %d transactions, %d items, %d bytes"
+        "wrote %s (format v%d): %d transactions, %d items, "
+        "%d partition(s), %d bytes"
         % (
             written, snap.version, snap.num_rows, snap.num_items,
-            os.path.getsize(written),
+            snap.num_partitions, os.path.getsize(written),
         )
     )
     return 0
 
 
+def _make_cli_counter(args: argparse.Namespace):
+    """An explicit PartitionedCounter when the flags configure one.
+
+    ``--engine partitioned`` with ``--memory-budget``/``--partitions``
+    needs the configuration passed into the counter instance; the plain
+    engine registry can only build it with defaults.  The partitioned
+    *algorithm* configures its own engine, so this only applies to the
+    other miners.
+    """
+    if args.algorithm == "partitioned" or args.engine != "partitioned":
+        return None
+    if args.memory_budget is None and args.partitions is None:
+        return None
+    from .db.outofcore import PartitionedCounter
+
+    return PartitionedCounter(
+        memory_budget=args.memory_budget, num_partitions=args.partitions
+    )
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     db = _load_db(args)
-    miner = _make_miner(args.algorithm, args.engine, args.kernel)
-    result = miner.mine(db, args.min_support / 100.0, obs=args.obs)
+    miner = _make_miner(args.algorithm, args.engine, args.kernel, args)
+    result = miner.mine(
+        db, args.min_support / 100.0, obs=args.obs,
+        counter=_make_cli_counter(args),
+    )
     print(result.stats.summary())
     print("maximum frequent set (%d itemsets):" % len(result.mfs))
     for member in result.sorted_mfs():
@@ -221,7 +332,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 def _cmd_rules(args: argparse.Namespace) -> int:
     db = _load_db(args)
-    miner = _make_miner(args.algorithm, args.engine, args.kernel)
+    miner = _make_miner(args.algorithm, args.engine, args.kernel, args)
     result = miner.mine(db, args.min_support / 100.0, obs=args.obs)
     rules = rules_from_mfs(
         db, result, min_confidence=args.min_confidence / 100.0,
@@ -317,6 +428,16 @@ def build_parser() -> argparse.ArgumentParser:
     snap.add_argument(
         "--out", default=None, metavar="PATH",
         help="snapshot path (default: the input file plus .snap)",
+    )
+    snap.add_argument(
+        "--partitions", type=int, default=None, metavar="K",
+        help="write a v2 partitioned snapshot with K row partitions "
+        "(each independently memory-mappable for out-of-core mining)",
+    )
+    snap.add_argument(
+        "--partition-rows", type=int, default=None, metavar="N",
+        help="write a v2 partitioned snapshot with ~N rows per "
+        "partition (rounded up to a multiple of 64)",
     )
     _add_obs_flags(snap)
     snap.set_defaults(handler=_cmd_snapshot)

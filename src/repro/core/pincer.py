@@ -139,6 +139,7 @@ class PincerSearch:
         counter: Optional[SupportCounter] = None,
         obs: Optional[Instrumentation] = None,
         initial_mfcs: Optional[List[Itemset]] = None,
+        bottom_up: bool = True,
     ) -> MiningResult:
         """Discover the maximum frequent set of ``db``.
 
@@ -158,7 +159,22 @@ class PincerSearch:
         some old maximal member; any strict superset of an old maximal
         member was infrequent then, hence infrequent now).  Sessions,
         not end callers, supply this.
+
+        ``bottom_up=False`` runs the top-down half alone: no Apriori
+        candidates, only MFCS classification and descent.  Amendments
+        A1/A2 make that a complete maximal miner by itself, and with a
+        tight ``initial_mfcs`` (e.g. the maximal union of per-partition
+        mines, which already covers every frequent itemset) it touches
+        the database only where classifications flip.  Because the
+        bottom-up stream an adaptive abandonment would fall back to does
+        not exist in this mode, the MFCS is unconditionally maintained
+        to the end; ``initial_mfcs`` is required.
         """
+        if not bottom_up and initial_mfcs is None:
+            raise ValueError(
+                "bottom_up=False needs an initial_mfcs seed: the top-down "
+                "half alone has no candidate stream to fall back on"
+            )
         threshold, fraction = resolve_threshold(db, min_support, min_count)
         engine, decision = resolve_counter(db, self._engine, counter)
         obs = obs if obs is not None else NOOP
@@ -171,7 +187,7 @@ class PincerSearch:
                 num_transactions=len(db),
                 min_support_count=threshold,
             )
-        policy = self._make_policy()
+        policy = self._make_policy() if bottom_up else AlwaysMaintain()
         lattice = make_kernel(self._kernel, db.universe)
         rate_estimator = PassRateEstimator()
         started = time.perf_counter()
@@ -188,7 +204,9 @@ class PincerSearch:
             mfcs = lattice.make_mfcs(db.universe)
         else:
             mfcs = lattice.make_mfcs_from(initial_mfcs)
-        candidates: List[Itemset] = first_level_candidates(db.universe)
+        candidates: List[Itemset] = (
+            first_level_candidates(db.universe) if bottom_up else []
+        )
         # judge the initial MFCS against the real level-1 candidate count:
         # a warm-start seed holds one element per known maximal itemset,
         # which is its steady size, not an explosion
@@ -656,6 +674,7 @@ def pincer_search(
     kernel: Optional[str] = None,
     obs: Optional[Instrumentation] = None,
     initial_mfcs: Optional[List[Itemset]] = None,
+    bottom_up: bool = True,
 ) -> MiningResult:
     """Functional one-shot entry point; see :class:`PincerSearch`.
 
@@ -673,5 +692,5 @@ def pincer_search(
     )
     return miner.mine(
         db, min_support, min_count=min_count, obs=obs,
-        initial_mfcs=initial_mfcs,
+        initial_mfcs=initial_mfcs, bottom_up=bottom_up,
     )

@@ -81,6 +81,11 @@ class MiningStats:
     #: :func:`repro.db.counting.engine_decision` (rows / items / nnz /
     #: density / reason), JSON-ready
     engine_evidence: Dict[str, Any] = field(default_factory=dict)
+    #: RNG seed of the sample draw for sample-based miners (Toivonen
+    #: sampling, sample-seeded partitioned mining); None when the run
+    #: involved no sampling.  Recording it is what makes sample-seeded
+    #: runs reproducible from their stats document alone.
+    sample_seed: Any = None
 
     def new_pass(self, pass_number: int) -> PassStats:
         """Open stats for the next pass and return them for filling in."""
@@ -132,6 +137,7 @@ class MiningStats:
             "records_read": self.records_read,
             "engine": self.engine,
             "engine_evidence": dict(self.engine_evidence),
+            "sample_seed": self.sample_seed,
             "num_passes": self.num_passes,
             "total_candidates": self.total_candidates,
             "candidates_after_pass2": self.candidates_after_pass2,
@@ -153,6 +159,7 @@ class MiningStats:
             records_read=data.get("records_read", 0),
             engine=data.get("engine", ""),
             engine_evidence=dict(data.get("engine_evidence", {})),
+            sample_seed=data.get("sample_seed"),
             passes=[
                 PassStats.from_dict(entry) for entry in data.get("passes", [])
             ],

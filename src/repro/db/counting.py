@@ -50,6 +50,13 @@ Engines provided:
     worker, with a per-pass adaptive choice between row-sharding and
     candidate work-stealing.  Falls back to ``sharded`` machinery, then
     serial, when shared memory is unavailable.
+``partitioned``
+    The out-of-core tier (:mod:`repro.db.outofcore`): row partitions of
+    a v2 snapshot attached/counted/detached under a byte budget, with
+    sub-partition windowed counting when even one partition exceeds it.
+    Support is summed over partitions (additive over row ranges), so
+    counts are identical to the in-memory engines while the resident
+    index never exceeds ``memory_budget``.
 
 The 1-D / 2-D array fast paths for passes 1 and 2 (Özden et al., adopted by
 the paper in Section 4.1.1) are :func:`count_singletons` and
@@ -68,6 +75,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from .._types import CountingDeadline, Itemset
 from .base import SupportCounter
 from .hash_tree import HashTree
+from .outofcore import PartitionedCounter
 from .parallel import ShardedCounter
 from .roaring import RoaringCounter, measure_density
 from .shm import ShmShardedCounter
@@ -92,6 +100,7 @@ __all__ = [
     "HashTreeCounter",
     "NaiveCounter",
     "PackedCounter",
+    "PartitionedCounter",
     "RoaringCounter",
     "ShardedCounter",
     "ShmShardedCounter",
@@ -269,6 +278,7 @@ _ENGINES = {
     "roaring": RoaringCounter,
     "sharded": ShardedCounter,
     "shm": ShmShardedCounter,
+    "partitioned": PartitionedCounter,
 }
 
 DEFAULT_ENGINE = "bitmap"

@@ -192,16 +192,31 @@ class DiskTransactionDatabase:
     # snapshots (repro.db.snapshot)
     # ------------------------------------------------------------------
 
-    def snapshot(self, path: Optional[PathLike] = None) -> Path:
+    def snapshot(
+        self,
+        path: Optional[PathLike] = None,
+        *,
+        num_partitions: Optional[int] = None,
+        partition_rows: Optional[int] = None,
+    ) -> Path:
         """Serialise the vertical index to a snapshot file (one read).
 
         Default location is the basket file plus ``.snap``.  The written
         snapshot immediately backs this instance too, so subsequent
         ``item_bitmaps`` users (the counting engines, the shared-memory
         plane's mmap fallback) read it instead of the baskets.
+
+        With ``num_partitions`` or ``partition_rows`` the partitioned v2
+        layout is written by *streaming* the baskets — memory stays
+        bounded by one partition's matrix, which is the point of the
+        out-of-core plane: the snapshot build itself must not need the
+        dense matrix resident.
         """
         written = snapshot_database(
-            self, path if path is not None else default_snapshot_path(self._path)
+            self,
+            path if path is not None else default_snapshot_path(self._path),
+            num_partitions=num_partitions,
+            partition_rows=partition_rows,
         )
         self._snapshot = load_snapshot(written)
         return written

@@ -612,6 +612,14 @@ class ShmShardedCounter(ShardedCounter):
         try:
             snapshot_path = getattr(db, "snapshot_path", None)
             temp_snapshot = None
+            if snapshot_path is not None:
+                snap = load_snapshot(snapshot_path)
+                if snap.num_partitions > 1:
+                    # a v2 partitioned snapshot has no single contiguous
+                    # matrix for the workers to window; fall through to a
+                    # temp v1 file (the partitioned engine is the plane
+                    # that maps v2 files partition by partition)
+                    snapshot_path = None
             if snapshot_path is None:
                 handle, name = tempfile.mkstemp(
                     prefix="pincer-shm-", suffix=".snap"
@@ -620,7 +628,7 @@ class ShmShardedCounter(ShardedCounter):
                 temp_snapshot = Path(name)
                 snapshot_database(db, temp_snapshot)
                 snapshot_path = temp_snapshot
-            snap = load_snapshot(snapshot_path)
+                snap = load_snapshot(snapshot_path)
             plane = _ShmPlane("mmap", index.num_rows, num_words)
             plane.temp_snapshot = temp_snapshot
             return plane, {

@@ -33,8 +33,41 @@ Layout (version 1)::
                                the transaction bitmap of ``universe[i]``,
                                little-endian across words, tail bits zero)
 
-The format is self-describing and NumPy-optional: :func:`write_snapshot`
-and :meth:`Snapshot.int_bitmaps` work with pure-Python int bitmaps, so
+Layout (version 2 — partitioned, for out-of-core mining)::
+
+    offset  size               field
+    ------  ----               -----
+         0  40                 header as v1, version = 2
+        40  8 * num_items      universe   (int64, ascending)
+         …  8                  num_partitions (uint64, >= 1)
+         …  32 * P             partition directory: per partition
+                               (row_start, num_rows, num_words,
+                               matrix_offset), all uint64
+         …  …                  per-partition matrices, in directory
+                               order: each a row-major
+                               ``(num_items, num_words_p)`` uint64 block
+
+Version 2 splits the **rows** (transactions) into contiguous ranges and
+stores one complete packed matrix per range, each independently
+memory-mappable and 8-byte aligned.  Partition boundaries are 64-row
+aligned (every partition except the last holds a multiple of 64 rows),
+which makes each partition's matrix exactly a word-aligned column slice
+of the logical global matrix: bit ``t`` of the global bitmap of an item
+lives in partition ``p`` with ``row_start_p <= t`` at local bit
+``t - row_start_p``.  Support is therefore *additive* over partitions —
+``support(X) = Σ_p popcount(AND of X's rows in partition p)`` — which is
+what the two-scan Partition mining scheme and the memory-budget counting
+plane (:mod:`repro.db.outofcore`) build on.
+
+:func:`write_snapshot` still writes version 1 (the default, and the only
+layout with a single contiguous matrix); :func:`write_partitioned_snapshot`
+streams rows into a version-2 file one partition at a time, never holding
+the full matrix.  :func:`load_snapshot` reads both; a v1 file surfaces as
+a single-partition snapshot, so partition-aware readers need no special
+case.
+
+The format is self-describing and NumPy-optional: the writers and
+:meth:`Snapshot.int_bitmaps` work with pure-Python int bitmaps, so
 snapshots written on a NumPy box load on a bare interpreter and vice
 versa.
 """
@@ -44,7 +77,7 @@ from __future__ import annotations
 import os
 import struct
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .vertical import HAVE_NUMPY, IntBitmapIndex, PackedBitmapIndex
 
@@ -59,20 +92,37 @@ __all__ = [
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_SUFFIX",
     "SNAPSHOT_VERSION",
+    "SNAPSHOT_VERSION_PARTITIONED",
+    "SUPPORTED_SNAPSHOT_VERSIONS",
     "Snapshot",
     "SnapshotFormatError",
+    "SnapshotPartition",
     "default_snapshot_path",
     "load_snapshot",
+    "partition_row_starts",
     "snapshot_database",
+    "write_partitioned_snapshot",
     "write_snapshot",
 ]
 
 SNAPSHOT_MAGIC = b"PINCSNAP"
+#: The default *written* version: one contiguous matrix.
 SNAPSHOT_VERSION = 1
+#: The partitioned layout written by :func:`write_partitioned_snapshot`.
+SNAPSHOT_VERSION_PARTITIONED = 2
+SUPPORTED_SNAPSHOT_VERSIONS = (SNAPSHOT_VERSION, SNAPSHOT_VERSION_PARTITIONED)
 SNAPSHOT_SUFFIX = ".snap"
 
 _HEADER = struct.Struct("<8sIIQQQ")
 HEADER_SIZE = _HEADER.size  # 40 bytes; keeps the arrays 8-byte aligned
+
+_PARTITION_ENTRY = struct.Struct("<QQQQ")
+PARTITION_ENTRY_SIZE = _PARTITION_ENTRY.size  # 32 bytes, 8-aligned
+
+#: Buffered (item-row, local-row) pairs between vectorized matrix
+#: flushes in the streaming v2 writer; bounds writer memory to a few MiB
+#: regardless of partition size.
+_WRITER_FLUSH_PAIRS = 1 << 19
 
 
 class SnapshotFormatError(ValueError):
@@ -101,7 +151,8 @@ def write_snapshot(
     Exactly one of ``bitmaps`` (item -> arbitrary-precision int bitmap,
     the lazy vertical view) and ``matrix`` (a ``(num_items, num_words)``
     uint64 array whose row order matches sorted ``universe``) must be
-    given.
+    given.  Always writes format version 1 (single contiguous matrix);
+    see :func:`write_partitioned_snapshot` for the partitioned v2 layout.
     """
     if (bitmaps is None) == (matrix is None):
         raise ValueError("give exactly one of bitmaps and matrix")
@@ -136,23 +187,300 @@ def write_snapshot(
     return path
 
 
-def snapshot_database(db, path: Optional[PathLike] = None) -> Path:
+def partition_row_starts(
+    num_rows: int,
+    num_partitions: Optional[int] = None,
+    partition_rows: Optional[int] = None,
+) -> List[int]:
+    """Row offsets of the v2 partition boundaries (64-row aligned).
+
+    Exactly one of ``num_partitions`` and ``partition_rows`` may be
+    given (neither means one partition).  The per-partition row count is
+    rounded **up** to a multiple of 64 so every partition's matrix is a
+    word-aligned column slice of the logical global matrix; tiny
+    databases may therefore end up with fewer partitions than requested.
+    """
+    if num_partitions is not None and partition_rows is not None:
+        raise ValueError("give at most one of num_partitions and partition_rows")
+    if num_rows <= 0:
+        return [0]
+    if partition_rows is None:
+        if num_partitions is None:
+            return [0]
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        partition_rows = -(-num_rows // num_partitions)  # ceil division
+    if partition_rows < 1:
+        raise ValueError("partition_rows must be at least 1")
+    partition_rows = ((partition_rows + 63) // 64) * 64
+    return list(range(0, num_rows, partition_rows))
+
+
+def write_partitioned_snapshot(
+    path: PathLike,
+    universe: Iterable[int],
+    num_rows: int,
+    transactions: Iterable[Iterable[int]],
+    *,
+    num_partitions: Optional[int] = None,
+    partition_rows: Optional[int] = None,
+    force_python: bool = False,
+) -> Path:
+    """Stream ``transactions`` into a partitioned v2 snapshot at ``path``.
+
+    ``transactions`` is consumed exactly once, in row order, and only one
+    partition's matrix (``num_items x ceil(rows_p / 64)`` uint64 words)
+    is resident at a time — the writer's memory is bounded by the
+    *partition* size, not the database size, which is what lets
+    ``pincer snapshot --partitions`` build beyond-RAM snapshots.
+
+    Partition sizing follows :func:`partition_row_starts`; every item in
+    every transaction must be in ``universe``.  Atomic like
+    :func:`write_snapshot` (temp file + rename).
+    """
+    items = sorted(set(int(item) for item in universe))
+    row_of = {item: row for row, item in enumerate(items)}
+    starts = partition_row_starts(
+        num_rows, num_partitions=num_partitions, partition_rows=partition_rows
+    )
+    bounds = starts + [max(0, num_rows)]
+    table: List[Tuple[int, int, int, int]] = []
+    directory_end = (
+        HEADER_SIZE + 8 * len(items) + 8 + PARTITION_ENTRY_SIZE * len(starts)
+    )
+    offset = directory_end
+    for index in range(len(starts)):
+        rows_p = bounds[index + 1] - bounds[index]
+        words_p = _num_words(rows_p)
+        table.append((bounds[index], rows_p, words_p, offset))
+        offset += 8 * len(items) * words_p
+
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp.%d" % os.getpid())
+    stream = iter(transactions)
+    use_numpy = HAVE_NUMPY and not force_python
+    try:
+        with open(temp, "wb") as handle:
+            handle.write(
+                _HEADER.pack(
+                    SNAPSHOT_MAGIC, SNAPSHOT_VERSION_PARTITIONED, 0,
+                    num_rows, len(items), _num_words(num_rows),
+                )
+            )
+            handle.write(struct.pack("<%dq" % len(items), *items))
+            handle.write(struct.pack("<Q", len(table)))
+            for entry in table:
+                handle.write(_PARTITION_ENTRY.pack(*entry))
+            for _, rows_p, words_p, _ in table:
+                if use_numpy:
+                    _stream_partition_numpy(
+                        handle, stream, rows_p, words_p, row_of, len(items)
+                    )
+                else:
+                    _stream_partition_python(
+                        handle, stream, rows_p, words_p, row_of, items
+                    )
+    except Exception:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    os.replace(temp, path)
+    return path
+
+
+def _take_rows(stream: Iterator, rows_p: int) -> Iterator:
+    """The next ``rows_p`` transactions, or raise on a short stream."""
+    for local in range(rows_p):
+        try:
+            yield next(stream)
+        except StopIteration:
+            raise ValueError(
+                "transaction stream ended %d rows short of num_rows"
+                % (rows_p - local)
+            ) from None
+
+
+def _stream_partition_numpy(
+    handle, stream, rows_p, words_p, row_of, num_items
+) -> None:
+    matrix = _np.zeros((num_items, words_p), dtype="<u8")
+    buf_items: List[int] = []
+    buf_rows: List[int] = []
+
+    def flush() -> None:
+        if not buf_items:
+            return
+        item_rows = _np.asarray(buf_items, dtype=_np.intp)
+        positions = _np.asarray(buf_rows, dtype=_np.int64)
+        bits = _np.left_shift(
+            _np.uint64(1), (positions & 63).astype(_np.uint64)
+        )
+        _np.bitwise_or.at(matrix, (item_rows, positions >> 6), bits)
+        del buf_items[:], buf_rows[:]
+
+    for local, transaction in enumerate(_take_rows(stream, rows_p)):
+        for item in transaction:
+            buf_items.append(row_of[item])
+            buf_rows.append(local)
+        if len(buf_items) >= _WRITER_FLUSH_PAIRS:
+            flush()
+    flush()
+    handle.write(matrix.tobytes())
+
+
+def _stream_partition_python(
+    handle, stream, rows_p, words_p, row_of, items
+) -> None:
+    bitmaps: Dict[int, int] = {}
+    for local, transaction in enumerate(_take_rows(stream, rows_p)):
+        bit = 1 << local
+        for item in transaction:
+            if item not in row_of:
+                raise KeyError(item)
+            bitmaps[item] = bitmaps.get(item, 0) | bit
+    num_bytes = words_p * 8
+    zero = b"\x00" * num_bytes
+    for item in items:
+        value = bitmaps.get(item, 0)
+        handle.write(value.to_bytes(num_bytes, "little") if value else zero)
+
+
+def snapshot_database(
+    db,
+    path: Optional[PathLike] = None,
+    *,
+    num_partitions: Optional[int] = None,
+    partition_rows: Optional[int] = None,
+) -> Path:
     """Build and write the snapshot of any database exposing the db surface.
 
     Works for :class:`~repro.db.transaction_db.TransactionDatabase` and
     :class:`~repro.db.disk.DiskTransactionDatabase` alike: one (streaming)
-    pass builds the vertical bitmaps, then they are serialised.  Returns
-    the written path (default: the database file + ``.snap`` when the
+    pass builds the vertical view, then it is serialised.  Returns the
+    written path (default: the database file + ``.snap`` when the
     database knows its file, else ``path`` is required).
+
+    With ``num_partitions`` or ``partition_rows`` the snapshot is written
+    in the partitioned v2 layout by streaming rows (memory bounded by one
+    partition); otherwise the v1 single-matrix layout is written from the
+    database's vertical bitmaps.
     """
     if path is None:
         source = getattr(db, "path", None)
         if source is None:
             raise ValueError("path is required for in-memory databases")
         path = default_snapshot_path(source)
+    if num_partitions is not None or partition_rows is not None:
+        return write_partitioned_snapshot(
+            path, db.universe, len(db), iter(db),
+            num_partitions=num_partitions, partition_rows=partition_rows,
+        )
     return write_snapshot(
         path, db.universe, len(db), bitmaps=db.item_bitmaps()
     )
+
+
+class SnapshotPartition:
+    """One row range of a snapshot, with its own mmap-able packed matrix.
+
+    Bit ``t`` of this partition's bitmap for an item corresponds to the
+    *global* transaction ``row_start + t``.  Partitions are the
+    attach/detach unit of the memory-budget scheduler
+    (:mod:`repro.db.outofcore`): each offers the same lazy index surface
+    as a whole snapshot, over only its own bytes.
+    """
+
+    __slots__ = (
+        "path", "ordinal", "row_start", "num_rows", "num_words",
+        "matrix_offset", "universe",
+    )
+
+    def __init__(
+        self,
+        path: Path,
+        ordinal: int,
+        row_start: int,
+        num_rows: int,
+        num_words: int,
+        matrix_offset: int,
+        universe: Tuple[int, ...],
+    ) -> None:
+        self.path = path
+        self.ordinal = ordinal
+        self.row_start = row_start
+        self.num_rows = num_rows
+        self.num_words = num_words
+        self.matrix_offset = matrix_offset
+        self.universe = universe
+
+    def __repr__(self) -> str:
+        return "SnapshotPartition(#%d, rows [%d, %d), %d words)" % (
+            self.ordinal, self.row_start, self.row_start + self.num_rows,
+            self.num_words,
+        )
+
+    @property
+    def num_items(self) -> int:
+        return len(self.universe)
+
+    @property
+    def word_start(self) -> int:
+        """This partition's first word column of the logical global matrix."""
+        return self.row_start // 64
+
+    @property
+    def matrix_shape(self) -> Tuple[int, int]:
+        return (self.num_items, self.num_words)
+
+    @property
+    def matrix_bytes(self) -> int:
+        """Resident bytes when this partition's matrix is mapped."""
+        return 8 * self.num_items * self.num_words
+
+    def matrix(self, writable: bool = False):
+        """The partition matrix as a ``numpy.memmap`` view (zero-copy)."""
+        if _np is None:  # pragma: no cover - NumPy-less interpreters
+            raise RuntimeError("snapshot memory-mapping requires NumPy")
+        return _np.memmap(
+            self.path,
+            dtype="<u8",
+            mode="r+" if writable else "r",
+            offset=self.matrix_offset,
+            shape=self.matrix_shape,
+        )
+
+    def int_bitmaps(
+        self, word_lo: int = 0, word_hi: Optional[int] = None
+    ) -> Dict[int, int]:
+        """item -> int bitmap of *local* rows (bit 0 = ``row_start``).
+
+        ``word_lo``/``word_hi`` select a word-aligned window of the
+        partition — the pure-Python half of sub-partition windowed
+        counting reads only the window's bytes per item.
+        """
+        if word_hi is None:
+            word_hi = self.num_words
+        num_bytes = (word_hi - word_lo) * 8
+        stride = self.num_words * 8
+        bitmaps: Dict[int, int] = {}
+        with open(self.path, "rb") as handle:
+            for row, item in enumerate(self.universe):
+                handle.seek(self.matrix_offset + row * stride + word_lo * 8)
+                bitmaps[item] = int.from_bytes(handle.read(num_bytes), "little")
+        return bitmaps
+
+    def packed_index(self) -> "PackedBitmapIndex":
+        """A :class:`PackedBitmapIndex` over the memory-mapped matrix."""
+        rows = {item: row for row, item in enumerate(self.universe)}
+        return PackedBitmapIndex(self.matrix(), rows, self.num_rows)
+
+    def index(self, force_python: bool = False):
+        """The best available counting index backed by this partition."""
+        if HAVE_NUMPY and not force_python:
+            return self.packed_index()
+        return IntBitmapIndex(self.int_bitmaps(), self.num_rows)
 
 
 class Snapshot:
@@ -162,6 +490,10 @@ class Snapshot:
     either as a zero-copy :func:`numpy.memmap` view (:meth:`matrix`,
     :meth:`packed_index`) or as pure-Python int bitmaps
     (:meth:`int_bitmaps`) on interpreters without NumPy.
+
+    Every snapshot — v1 or v2 — exposes :attr:`partitions`; a v1 file is
+    a single partition spanning all rows, so partition-aware consumers
+    (the out-of-core miner, the budget scheduler) treat both uniformly.
     """
 
     def __init__(
@@ -171,16 +503,26 @@ class Snapshot:
         num_rows: int,
         universe: Tuple[int, ...],
         num_words: int,
+        partition_table: Optional[Sequence[Tuple[int, int, int, int]]] = None,
     ) -> None:
         self.path = path
         self.version = version
         self.num_rows = num_rows
         self.universe = universe
         self.num_words = num_words
+        if partition_table is None:
+            partition_table = (
+                (0, num_rows, num_words, HEADER_SIZE + 8 * len(universe)),
+            )
+        self._partition_table = tuple(
+            tuple(entry) for entry in partition_table
+        )
+        self._partitions: Optional[Tuple[SnapshotPartition, ...]] = None
 
     def __repr__(self) -> str:
-        return "Snapshot(%r, v%d, |D|=%d, |I|=%d)" % (
-            str(self.path), self.version, self.num_rows, len(self.universe),
+        return "Snapshot(%r, v%d, |D|=%d, |I|=%d, P=%d)" % (
+            str(self.path), self.version, self.num_rows,
+            len(self.universe), self.num_partitions,
         )
 
     @property
@@ -188,16 +530,53 @@ class Snapshot:
         return len(self.universe)
 
     @property
+    def num_partitions(self) -> int:
+        return len(self._partition_table)
+
+    @property
+    def partitions(self) -> Tuple[SnapshotPartition, ...]:
+        """The row partitions, in row order (a v1 file has exactly one)."""
+        if self._partitions is None:
+            self._partitions = tuple(
+                SnapshotPartition(
+                    self.path, ordinal, row_start, num_rows, num_words,
+                    matrix_offset, self.universe,
+                )
+                for ordinal, (row_start, num_rows, num_words, matrix_offset)
+                in enumerate(self._partition_table)
+            )
+        return self._partitions
+
+    @property
     def matrix_offset(self) -> int:
-        """Byte offset of the bitmap matrix inside the file."""
-        return HEADER_SIZE + 8 * self.num_items
+        """Byte offset of the bitmap matrix inside the file.
+
+        Only meaningful when the snapshot holds one contiguous matrix
+        (any v1 file, or a v2 file with a single partition).
+        """
+        if self.num_partitions != 1:
+            raise SnapshotFormatError(
+                "%s: %d-partition snapshot has no contiguous matrix; use "
+                ".partitions" % (self.path, self.num_partitions)
+            )
+        return self._partition_table[0][3]
 
     @property
     def matrix_shape(self) -> Tuple[int, int]:
         return (self.num_items, self.num_words)
 
+    @property
+    def matrix_bytes(self) -> int:
+        """Size of the dense logical matrix (all partitions), in bytes."""
+        return 8 * self.num_items * self.num_words
+
     def matrix(self, writable: bool = False):
-        """The bitmap matrix as a ``numpy.memmap`` view (zero-copy)."""
+        """The bitmap matrix as a ``numpy.memmap`` view (zero-copy).
+
+        Multi-partition snapshots have no contiguous on-disk matrix;
+        use :attr:`partitions` (zero-copy per partition) or
+        :meth:`packed_index` (one documented concatenation copy).
+        """
         if _np is None:  # pragma: no cover - NumPy-less interpreters
             raise RuntimeError("snapshot memory-mapping requires NumPy")
         return _np.memmap(
@@ -209,19 +588,42 @@ class Snapshot:
         )
 
     def int_bitmaps(self) -> Dict[int, int]:
-        """item -> arbitrary-precision int bitmap (pure-Python read)."""
-        num_bytes = self.num_words * 8
-        bitmaps: Dict[int, int] = {}
-        with open(self.path, "rb") as handle:
-            handle.seek(self.matrix_offset)
-            for item in self.universe:
-                bitmaps[item] = int.from_bytes(handle.read(num_bytes), "little")
-        return bitmaps
+        """item -> arbitrary-precision int bitmap (pure-Python read).
+
+        Partition bitmaps concatenate exactly (boundaries are 64-row
+        aligned), so the result is identical whether the file is v1 or
+        partitioned v2.
+        """
+        combined: Dict[int, int] = dict.fromkeys(self.universe, 0)
+        for partition in self.partitions:
+            local = partition.int_bitmaps()
+            shift = partition.row_start
+            for item, value in local.items():
+                if value:
+                    combined[item] |= value << shift
+        return combined
 
     def packed_index(self) -> "PackedBitmapIndex":
-        """A :class:`PackedBitmapIndex` over the memory-mapped matrix."""
+        """A :class:`PackedBitmapIndex` over the full matrix.
+
+        Zero-copy (a memmap view) for single-partition snapshots.  For a
+        multi-partition v2 file the partition matrices are word-aligned
+        column slices of the logical matrix, so this concatenates them
+        into one resident array — a copy of the full matrix, appropriate
+        only for consumers that need the whole index in memory anyway
+        (the shared-memory parent attach path).  Budget-respecting
+        consumers use :attr:`partitions` instead.
+        """
         rows = {item: row for row, item in enumerate(self.universe)}
-        return PackedBitmapIndex(self.matrix(), rows, self.num_rows)
+        if self.num_partitions == 1:
+            return PackedBitmapIndex(self.matrix(), rows, self.num_rows)
+        if _np is None:  # pragma: no cover - NumPy-less interpreters
+            raise RuntimeError("snapshot memory-mapping requires NumPy")
+        matrix = _np.empty((self.num_items, self.num_words), dtype="<u8")
+        for partition in self.partitions:
+            lo = partition.word_start
+            matrix[:, lo : lo + partition.num_words] = partition.matrix()
+        return PackedBitmapIndex(matrix, rows, self.num_rows)
 
     def index(self, force_python: bool = False):
         """The best available counting index backed by this snapshot."""
@@ -230,11 +632,85 @@ class Snapshot:
         return IntBitmapIndex(self.int_bitmaps(), self.num_rows)
 
 
+def _load_partition_table(
+    handle, path: Path, num_rows: int, num_items: int, num_words: int
+) -> List[Tuple[int, int, int, int]]:
+    """Parse and validate the v2 partition directory."""
+    raw = handle.read(8)
+    if len(raw) < 8:
+        raise SnapshotFormatError(
+            "%s: truncated partition directory (missing count)" % path
+        )
+    (count,) = struct.unpack("<Q", raw)
+    if not 1 <= count <= max(1, num_rows):
+        raise SnapshotFormatError(
+            "%s: implausible partition count %d for %d rows"
+            % (path, count, num_rows)
+        )
+    raw = handle.read(PARTITION_ENTRY_SIZE * count)
+    if len(raw) < PARTITION_ENTRY_SIZE * count:
+        raise SnapshotFormatError(
+            "%s: truncated partition directory (%d of %d entries)"
+            % (path, len(raw) // PARTITION_ENTRY_SIZE, count)
+        )
+    table = [
+        _PARTITION_ENTRY.unpack_from(raw, index * PARTITION_ENTRY_SIZE)
+        for index in range(count)
+    ]
+    directory_end = (
+        HEADER_SIZE + 8 * num_items + 8 + PARTITION_ENTRY_SIZE * count
+    )
+    expected_row = 0
+    expected_offset = directory_end
+    total_words = 0
+    for index, (row_start, rows_p, words_p, matrix_offset) in enumerate(table):
+        if row_start != expected_row:
+            raise SnapshotFormatError(
+                "%s: partition %d starts at row %d, expected %d"
+                % (path, index, row_start, expected_row)
+            )
+        if row_start % 64:
+            raise SnapshotFormatError(
+                "%s: partition %d start %d is not 64-row aligned"
+                % (path, index, row_start)
+            )
+        if index < count - 1 and (rows_p <= 0 or rows_p % 64):
+            raise SnapshotFormatError(
+                "%s: non-final partition %d holds %d rows (need a positive "
+                "multiple of 64)" % (path, index, rows_p)
+            )
+        if words_p != _num_words(rows_p):
+            raise SnapshotFormatError(
+                "%s: partition %d words %d inconsistent with its %d rows"
+                % (path, index, words_p, rows_p)
+            )
+        if matrix_offset != expected_offset:
+            raise SnapshotFormatError(
+                "%s: partition %d matrix at %d, expected %d"
+                % (path, index, matrix_offset, expected_offset)
+            )
+        expected_row += rows_p
+        expected_offset += 8 * num_items * words_p
+        total_words += words_p
+    if expected_row != num_rows:
+        raise SnapshotFormatError(
+            "%s: partitions cover %d rows, header promises %d"
+            % (path, expected_row, num_rows)
+        )
+    if total_words != num_words:
+        raise SnapshotFormatError(
+            "%s: partition words sum to %d, header promises %d"
+            % (path, total_words, num_words)
+        )
+    return table
+
+
 def load_snapshot(path: PathLike) -> Snapshot:
     """Validate ``path`` and return its :class:`Snapshot` header view.
 
     Raises :class:`SnapshotFormatError` on a bad magic, an unsupported
-    version, or a file whose size disagrees with its own header.
+    version, a truncated partition directory, or a file whose size
+    disagrees with its own header.
     """
     path = Path(path)
     with open(path, "rb") as handle:
@@ -246,10 +722,13 @@ def load_snapshot(path: PathLike) -> Snapshot:
         )
         if magic != SNAPSHOT_MAGIC:
             raise SnapshotFormatError("%s: not a snapshot file" % path)
-        if version != SNAPSHOT_VERSION:
+        if version not in SUPPORTED_SNAPSHOT_VERSIONS:
             raise SnapshotFormatError(
-                "%s: snapshot version %d (reader supports %d)"
-                % (path, version, SNAPSHOT_VERSION)
+                "%s: snapshot version %d (reader supports %s)"
+                % (
+                    path, version,
+                    ", ".join(str(v) for v in SUPPORTED_SNAPSHOT_VERSIONS),
+                )
             )
         if num_words != _num_words(num_rows):
             raise SnapshotFormatError(
@@ -259,7 +738,16 @@ def load_snapshot(path: PathLike) -> Snapshot:
         universe = struct.unpack(
             "<%dq" % num_items, handle.read(8 * num_items)
         )
-    expected = HEADER_SIZE + 8 * num_items + 8 * num_items * num_words
+        table: Optional[List[Tuple[int, int, int, int]]] = None
+        if version == SNAPSHOT_VERSION_PARTITIONED:
+            table = _load_partition_table(
+                handle, path, num_rows, num_items, num_words
+            )
+    if table is None:
+        expected = HEADER_SIZE + 8 * num_items + 8 * num_items * num_words
+    else:
+        last = table[-1]
+        expected = last[3] + 8 * num_items * last[2]
     actual = os.path.getsize(path)
     if actual != expected:
         raise SnapshotFormatError(
@@ -267,4 +755,7 @@ def load_snapshot(path: PathLike) -> Snapshot:
         )
     if any(a >= b for a, b in zip(universe, universe[1:])):
         raise SnapshotFormatError("%s: universe is not strictly ascending" % path)
-    return Snapshot(path, version, num_rows, tuple(universe), num_words)
+    return Snapshot(
+        path, version, num_rows, tuple(universe), num_words,
+        partition_table=table,
+    )

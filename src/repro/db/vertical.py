@@ -318,14 +318,34 @@ class PackedBitmapIndex:
     #: below that the whole working set is L2-resident anyway.
     FUSED_MIN_WORDS = 512
 
-    #: Words per column tile of the fused kernel.  The per-tile working
-    #: set is ``chunk x TILE_WORDS x 8`` bytes per level (~1 MiB at the
-    #: budget-bounded chunk sizes), sized so the accumulator stays in L2
-    #: across all levels of a tile instead of streaming from DRAM once
-    #: per level.
+    #: Floor on the words per column tile of the fused kernel.  The
+    #: actual tile adapts to the block: see :data:`TILE_TARGET_BYTES`.
     TILE_WORDS = 128
 
+    #: Target byte size of the fused kernel's per-tile accumulator.  The
+    #: tile width is chosen as ``TILE_TARGET_BYTES / (block_rows * 8)``
+    #: (floored at :data:`TILE_WORDS`), so the accumulator plus the
+    #: gathered operand slab stay cache-resident regardless of how many
+    #: candidates the block holds.  A fixed 128-word tile is right for
+    #: full 4096-candidate chunks but pathological for small blocks —
+    #: a few hundred candidates over a wide matrix turn into thousands
+    #: of sliver-sized NumPy calls per block, and ufunc dispatch
+    #: overhead, not bandwidth, dominates (profiled at >2x the whole
+    #: kernel on snapshot-scale rows).
+    TILE_TARGET_BYTES = 512 * 1024
+
     def __init__(self, matrix, rows: Dict[int, int], num_rows: int) -> None:
+        if isinstance(matrix, _np.memmap):
+            # np.memmap is an ndarray subclass whose every slice and
+            # gather runs Python-level ``__getitem__`` +
+            # ``__array_finalize__`` to propagate mmap attributes — a few
+            # microseconds per access, and the tiled kernel makes
+            # thousands of accesses per block (profiled at >60% of
+            # snapshot-backed counting time).  A plain ndarray view
+            # shares the same mapped buffer at zero copy (the memmap
+            # stays alive through ``.base``), so counting pays only the
+            # page faults, never the subclass dispatch.
+            matrix = matrix.view(_np.ndarray)
         self._matrix = matrix
         self._rows = rows
         self._num_rows = num_rows
@@ -619,7 +639,9 @@ class PackedBitmapIndex:
         The full-width path (:meth:`_intersect`) streams a ``(C, W)``
         accumulator through memory once per candidate level and once more
         for the popcount.  Here the transaction dimension is cut into
-        :data:`TILE_WORDS` column tiles: the shared-prefix plan is hoisted
+        cache-budget-sized column tiles (:data:`TILE_TARGET_BYTES` per
+        accumulator, floored at :data:`TILE_WORDS`): the shared-prefix
+        plan is hoisted
         once per block, then replayed per tile, so every level's AND and
         the final popcount reduction happen while the tile-sized
         accumulator is still cache-resident.  Nothing of shape ``(C, W)``
@@ -636,7 +658,14 @@ class PackedBitmapIndex:
             self._account_plan(block, levels)
         else:
             self.prefix_misses += count * (length - 1)
+        # adapt the tile to the block so the accumulator slab is
+        # TILE_TARGET_BYTES regardless of candidate count (see the
+        # constant's docstring); TILE_WORDS stays the floor
         tile = max(1, self.TILE_WORDS)
+        tile = max(
+            tile,
+            min(num_words, self.TILE_TARGET_BYTES // (max(1, count) * 8)),
+        )
         for word_lo in range(0, num_words, tile):
             columns = matrix[:, word_lo : word_lo + tile]
             if use_plan:

@@ -111,6 +111,7 @@ KNOWN_SPAN_NAMES = (
     "generate",
     "recover",
     "sweep",
+    "partition",
     "cell",
     "command",
 )

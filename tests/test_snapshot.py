@@ -11,10 +11,14 @@ from repro.db.snapshot import (
     HEADER_SIZE,
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_PARTITIONED,
+    SUPPORTED_SNAPSHOT_VERSIONS,
     SnapshotFormatError,
     default_snapshot_path,
     load_snapshot,
+    partition_row_starts,
     snapshot_database,
+    write_partitioned_snapshot,
     write_snapshot,
 )
 from repro.db.transaction_db import TransactionDatabase
@@ -89,7 +93,8 @@ class TestFormatValidation:
             load_snapshot(snap_path)
 
     def test_future_version_rejected(self, snap_path):
-        self._corrupt(snap_path, 8, struct.pack("<I", SNAPSHOT_VERSION + 1))
+        unsupported = max(SUPPORTED_SNAPSHOT_VERSIONS) + 97
+        self._corrupt(snap_path, 8, struct.pack("<I", unsupported))
         with pytest.raises(SnapshotFormatError, match="version"):
             load_snapshot(snap_path)
 
@@ -121,6 +126,128 @@ class TestFormatValidation:
         # the 40-byte header keeps both arrays 8-byte aligned; changing
         # it is a format break and needs a version bump
         assert HEADER_SIZE == 40
+
+
+class TestPartitionedFormat:
+    """The v2 partitioned layout and its back-compat with v1."""
+
+    @pytest.fixture
+    def v2_path(self, tmp_path):
+        # 77 rows at 64 rows/partition -> two partitions (64 + 13)
+        return write_partitioned_snapshot(
+            tmp_path / "db.v2.snap", DB.universe, len(DB), iter(DB),
+            partition_rows=64,
+        )
+
+    def test_v1_loads_under_partition_aware_reader(self, snap_path):
+        # a v1 file surfaces as a single partition spanning every row,
+        # so partition-aware consumers need no special case
+        snap = load_snapshot(snap_path)
+        assert snap.version == SNAPSHOT_VERSION
+        assert snap.num_partitions == 1
+        (part,) = snap.partitions
+        assert (part.row_start, part.num_rows) == (0, len(DB))
+        assert part.matrix_offset == snap.matrix_offset
+        assert part.int_bitmaps() == DB.item_bitmaps()
+
+    def test_v2_roundtrip_metadata(self, v2_path):
+        snap = load_snapshot(v2_path)
+        assert snap.version == SNAPSHOT_VERSION_PARTITIONED
+        assert snap.num_partitions == 2
+        assert snap.num_rows == len(DB)
+        assert snap.universe == tuple(DB.universe)
+        starts = [p.row_start for p in snap.partitions]
+        assert starts == [0, 64]
+        assert snap.partitions[0].num_rows == 64
+        assert snap.partitions[1].num_rows == len(DB) - 64
+        assert all(p.row_start % 64 == 0 for p in snap.partitions)
+
+    def test_v2_bitmaps_identical_to_database(self, v2_path):
+        assert load_snapshot(v2_path).int_bitmaps() == DB.item_bitmaps()
+
+    def test_v2_index_counts_match_naive(self, v2_path):
+        index = load_snapshot(v2_path).index()
+        got = dict(zip(CANDIDATES, index.counts(CANDIDATES)))
+        assert got == EXPECTED
+
+    def test_partition_supports_are_additive(self, v2_path):
+        # the invariant the out-of-core miner rests on: global support is
+        # the sum of per-partition supports
+        snap = load_snapshot(v2_path)
+        summed = {c: 0 for c in CANDIDATES}
+        for part in snap.partitions:
+            for cand, count in zip(
+                CANDIDATES, part.index().counts(CANDIDATES)
+            ):
+                summed[cand] += count
+        assert summed == EXPECTED
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs NumPy")
+    def test_v2_packed_index_matches_v1_matrix(self, snap_path, v2_path):
+        v1 = load_snapshot(snap_path).packed_index()
+        v2 = load_snapshot(v2_path).packed_index()
+        assert v2._matrix.tobytes() == v1._matrix.tobytes()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs NumPy")
+    def test_python_writer_is_byte_identical(self, v2_path, tmp_path):
+        other = write_partitioned_snapshot(
+            tmp_path / "py.v2.snap", DB.universe, len(DB), iter(DB),
+            partition_rows=64, force_python=True,
+        )
+        assert other.read_bytes() == v2_path.read_bytes()
+
+    def test_snapshot_database_partition_kwargs(self, tmp_path):
+        path = snapshot_database(DB, tmp_path / "p.snap", num_partitions=2)
+        snap = load_snapshot(path)
+        assert snap.version == SNAPSHOT_VERSION_PARTITIONED
+        assert snap.num_partitions == 2
+        assert snap.int_bitmaps() == DB.item_bitmaps()
+
+    def test_single_partition_request_still_writes_v2(self, tmp_path):
+        path = snapshot_database(DB, tmp_path / "one.snap", num_partitions=1)
+        snap = load_snapshot(path)
+        assert snap.version == SNAPSHOT_VERSION_PARTITIONED
+        assert snap.num_partitions == 1
+        # single-partition v2 still has a contiguous matrix
+        assert snap.matrix_offset == snap.partitions[0].matrix_offset
+
+    def test_truncated_partition_directory_rejected(self, v2_path):
+        snap = load_snapshot(v2_path)
+        directory_start = HEADER_SIZE + 8 * snap.num_items
+        # keep the count but cut the entries short
+        v2_path.write_bytes(v2_path.read_bytes()[: directory_start + 8 + 16])
+        with pytest.raises(
+            SnapshotFormatError, match="truncated partition directory"
+        ):
+            load_snapshot(v2_path)
+
+    def test_short_stream_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="short"):
+            write_partitioned_snapshot(
+                tmp_path / "short.snap", DB.universe, len(DB) + 5, iter(DB),
+                partition_rows=64,
+            )
+        # failed writes leave no temp droppings behind
+        assert [p for p in os.listdir(tmp_path) if ".tmp." in p] == []
+
+    def test_partition_row_starts_are_64_aligned(self):
+        starts = partition_row_starts(1000, num_partitions=4)
+        assert starts[0] == 0
+        assert all(s % 64 == 0 for s in starts)
+        assert partition_row_starts(77, partition_rows=10) == [0, 64]
+        assert partition_row_starts(0) == [0]
+        with pytest.raises(ValueError):
+            partition_row_starts(10, num_partitions=2, partition_rows=5)
+
+    def test_mutilated_directory_entry_rejected(self, v2_path):
+        snap = load_snapshot(v2_path)
+        entry0 = HEADER_SIZE + 8 * snap.num_items + 8
+        data = bytearray(v2_path.read_bytes())
+        # shift partition 0's start off the required alignment
+        data[entry0 : entry0 + 8] = struct.pack("<Q", 1)
+        v2_path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(v2_path)
 
 
 class TestDiskIntegration:
